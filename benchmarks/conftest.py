@@ -1,0 +1,20 @@
+"""Shared benchmark configuration.
+
+Every benchmark in this directory regenerates one table or figure of the
+paper's evaluation (§7); see DESIGN.md's experiment index. Results are
+printed and persisted under ``benchmarks/results/<experiment>.txt``.
+
+Experiments are simulations: the *simulated* quantities (latency
+percentiles, Gbps, recovery times) are the reproduced results, while
+pytest-benchmark's wall-clock numbers just record how long each
+simulation took to run. Benchmarks therefore run ``rounds=1``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments where the
+``wheel`` package (required for PEP 660 editable installs) is unavailable.
+All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,75 @@
+"""CHC reproduction: correctness and performance for stateful chained NFs.
+
+A functional, discrete-event reproduction of the NSDI 2019 paper
+"Correctness and Performance for Stateful Chained Network Functions"
+(Khalid & Akella). See README.md for a tour and DESIGN.md for the
+paper-to-module mapping.
+
+Quickstart::
+
+    from repro import (
+        ChainRuntime, LogicalChain, ReplaySource, Simulator, make_trace2,
+    )
+    from repro.nfs import Nat, PortscanDetector
+
+    sim = Simulator()
+    chain = LogicalChain("demo")
+    chain.add_vertex("nat", Nat, entry=True)
+    chain.add_vertex("scan", PortscanDetector)
+    chain.add_edge("nat", "scan")
+    runtime = ChainRuntime(sim, chain)
+    trace = make_trace2(scale=0.001)
+    ReplaySource(sim, trace.packets, runtime.inject, load_fraction=0.5)
+    sim.run()
+    print(runtime.egress_recorder.summary())
+"""
+
+from repro.core import (
+    ChainRuntime,
+    CloneController,
+    LogicalChain,
+    NetworkFunction,
+    Output,
+    RuntimeParams,
+    StateAPI,
+    fail_over_nf,
+    fail_over_root,
+    move_flows,
+)
+from repro.simnet import Simulator
+from repro.store import (
+    AccessPattern,
+    DatastoreInstance,
+    Scope,
+    StateObjectSpec,
+    StoreClient,
+    StoreCluster,
+)
+from repro.traffic import Packet, FiveTuple, ReplaySource, make_trace1, make_trace2
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AccessPattern",
+    "ChainRuntime",
+    "CloneController",
+    "DatastoreInstance",
+    "FiveTuple",
+    "LogicalChain",
+    "NetworkFunction",
+    "Output",
+    "Packet",
+    "ReplaySource",
+    "RuntimeParams",
+    "Scope",
+    "Simulator",
+    "StateAPI",
+    "StateObjectSpec",
+    "StoreClient",
+    "StoreCluster",
+    "fail_over_nf",
+    "fail_over_root",
+    "make_trace1",
+    "make_trace2",
+    "move_flows",
+]

@@ -1,0 +1,115 @@
+"""StatelessNF-style remote state access [17] — the "naive approach".
+
+Every state access is a blocking round trip to the store; shared objects
+are protected by store-side locks. An update therefore costs **two RTTs**
+(lock+read, then write+unlock) plus any lock wait — the discipline §7.1's
+operation-offloading experiment compares CHC against ("it not only
+requires 2 RTTs to update state ... but it may also have NFs wait to
+acquire locks").
+
+The same vertex programs run unchanged: :class:`LockingStateAPI` is just
+another :class:`StateAPI`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generator, Optional, Tuple
+
+from repro.baselines.traditional import TraditionalNFHarness
+from repro.core.nf_api import NetworkFunction, StateAPI
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Network
+from repro.simnet.rpc import RpcEndpoint
+from repro.store.keys import StateKey
+from repro.store.operations import OperationRegistry, default_registry
+from repro.store.protocol import LockReadRequest, NonDetRequest, ReadRequest, WriteUnlockRequest
+from repro.traffic.packet import Packet
+
+
+class LockingStateAPI(StateAPI):
+    """lock+read / compute / write+unlock against a real store instance."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        store_endpoint: str,
+        vertex_id: str,
+        instance_id: str,
+        registry: Optional[OperationRegistry] = None,
+    ):
+        self.sim = sim
+        self.store_endpoint = store_endpoint
+        self.vertex_id = vertex_id
+        self.instance_id = instance_id
+        self.registry = registry or default_registry()
+        self.endpoint = RpcEndpoint(sim, network, instance_id)
+        self._clock = 0
+        self.lock_round_trips = 0
+
+    def _key(self, obj_name: str, flow_key: Optional[Tuple]) -> str:
+        return StateKey(self.vertex_id, obj_name, flow_key).storage_key()
+
+    def begin_packet(self, packet: Optional[Packet]) -> None:
+        self._clock = packet.clock if packet is not None else 0
+
+    def read(self, obj_name: str, flow_key: Optional[Tuple]) -> Generator:
+        result = yield self.endpoint.call_event(
+            self.store_endpoint,
+            ReadRequest(key=self._key(obj_name, flow_key), instance=self.instance_id),
+        )
+        return result.value
+
+    def update(
+        self,
+        obj_name: str,
+        flow_key: Optional[Tuple],
+        op: str,
+        *args: Any,
+        need_result: bool = False,
+    ) -> Generator:
+        key = self._key(obj_name, flow_key)
+        # RTT 1 (+ lock wait): acquire the lock and read the value.
+        result = yield self.endpoint.call_event(
+            self.store_endpoint, LockReadRequest(key=key, instance=self.instance_id)
+        )
+        new_value, return_value = self.registry.apply(op, result.value, args)
+        # RTT 2: write back and release.
+        yield self.endpoint.call_event(
+            self.store_endpoint,
+            WriteUnlockRequest(key=key, value=new_value, instance=self.instance_id),
+        )
+        self.lock_round_trips += 2
+        return return_value
+
+    def nondet(self, purpose: str, kind: str = "random") -> Generator:
+        value = yield self.endpoint.call_event(
+            self.store_endpoint,
+            NonDetRequest(clock=self._clock, purpose=purpose, kind=kind),
+        )
+        return value
+
+
+class StatelessNfHarness(TraditionalNFHarness):
+    """Traditional thread model + all state accessed via LockingStateAPI."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nf: NetworkFunction,
+        network: Network,
+        store_endpoint: str,
+        name: str = "statelessnf",
+        **kwargs,
+    ):
+        super().__init__(sim, nf, name=name, **kwargs)
+        locking = LockingStateAPI(
+            sim, network, store_endpoint, vertex_id=nf.name, instance_id=name
+        )
+        for op_name, op_fn in nf.custom_operations().items():
+            locking.registry.register(op_name, op_fn, allow_replace=True)
+        self.state = locking  # replaces the LocalStateAPI
+
+    def _process_packet(self, packet: Packet) -> Generator:
+        self.state.begin_packet(packet)
+        yield from super()._process_packet(packet)

@@ -1,0 +1,80 @@
+"""Paper-vs-measured reporting for the benchmark harness.
+
+Each benchmark builds a :class:`ResultTable` with the same rows/series
+the paper reports, prints it, and persists it under
+``benchmarks/results/<experiment>.txt`` so EXPERIMENTS.md can cite runs.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+
+def results_dir() -> str:
+    """benchmarks/results/ next to this repository's benchmarks."""
+    here = os.path.dirname(os.path.dirname(os.path.dirname(os.path.dirname(__file__))))
+    path = os.path.join(here, "benchmarks", "results")
+    os.makedirs(path, exist_ok=True)
+    return path
+
+
+@dataclass
+class ResultTable:
+    """A titled table with optional paper-reference annotations."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add(self, *cells) -> None:
+        self.rows.append(cells)
+
+    def note(self, text: str) -> None:
+        self.notes.append(text)
+
+    def render(self) -> str:
+        cells = [[str(c) for c in row] for row in self.rows]
+        headers = [str(h) for h in self.headers]
+        widths = [len(h) for h in headers]
+        for row in cells:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+
+        def line(row: Sequence[str]) -> str:
+            return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip()
+
+        out = [self.title, "=" * len(self.title), line(headers), line(["-" * w for w in widths])]
+        out.extend(line(row) for row in cells)
+        for note in self.notes:
+            out.append(f"note: {note}")
+        return "\n".join(out)
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def write_result(experiment_id: str, tables: Iterable[ResultTable], echo: bool = True) -> str:
+    """Persist (and print) an experiment's tables; returns the file path."""
+    body = "\n\n".join(table.render() for table in tables) + "\n"
+    path = os.path.join(results_dir(), f"{experiment_id}.txt")
+    with open(path, "w") as fh:
+        fh.write(body)
+    if echo:
+        print()
+        print(body)
+    return path
+
+
+def fmt_us(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2f}us"
+
+
+def fmt_gbps(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return f"{value:.2f}Gbps"

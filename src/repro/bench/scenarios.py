@@ -1,0 +1,125 @@
+"""Reusable experiment builders for the benchmark harness and examples."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.baselines.traditional import TraditionalNFHarness
+from repro.bench.calibration import params_for_model
+from repro.core.chain_runtime import ChainRuntime, RuntimeParams
+from repro.core.dag import LogicalChain
+from repro.core.nf_api import NetworkFunction
+from repro.nfs import (
+    Firewall,
+    LoadBalancer,
+    Nat,
+    PortscanDetector,
+    Scrubber,
+    TrojanDetector,
+)
+from repro.simnet.engine import Simulator
+from repro.simnet.monitor import LatencyRecorder
+from repro.traffic.trace import Trace
+from repro.traffic.workload import ReplaySource
+from repro.bench.calibration import bench_scale  # re-export convenience
+
+
+@dataclass
+class SingleNfResult:
+    """Outcome of one single-NF model run."""
+
+    model: str
+    recorder: LatencyRecorder
+    gbps: float
+    processed: int
+    sim_time_us: float
+    runtime: Optional[ChainRuntime] = None
+    harness: Optional[TraditionalNFHarness] = None
+
+
+def run_single_nf(
+    nf_factory: Callable[[], NetworkFunction],
+    model: str,
+    trace: Trace,
+    load_fraction: float = 0.5,
+    until_us: float = 60_000_000.0,
+    params: Optional[RuntimeParams] = None,
+) -> SingleNfResult:
+    """Run one NF over a trace under one §7.1 externalization model.
+
+    ``model`` is "T", "EO", "EO+C" or "EO+C+NA". Returns per-packet
+    processing times and goodput.
+    """
+    sim = Simulator()
+    if model == "T":
+        harness = TraditionalNFHarness(sim, nf_factory(), name=f"T-{nf_factory().name}")
+        ReplaySource(sim, trace.packets, harness.inject, load_fraction=load_fraction)
+        sim.run(until=until_us)
+        return SingleNfResult(
+            model=model,
+            recorder=harness.recorder,
+            gbps=harness.throughput.gbps(),
+            processed=harness.processed,
+            sim_time_us=sim.now,
+            harness=harness,
+        )
+
+    run_params = params or params_for_model(model)
+    chain = LogicalChain(f"single-{model}")
+    chain.add_vertex("nf", nf_factory, entry=True)
+    runtime = ChainRuntime(sim, chain, params=run_params)
+    ReplaySource(sim, trace.packets, runtime.inject, load_fraction=load_fraction)
+    sim.run(until=until_us)
+    instance = runtime.instances_of("nf")[0]
+    return SingleNfResult(
+        model=model,
+        recorder=instance.recorder,
+        gbps=instance.throughput.gbps(),
+        processed=instance.stats.processed,
+        sim_time_us=sim.now,
+        runtime=runtime,
+    )
+
+
+def build_paper_chain(
+    sim: Simulator,
+    params: Optional[RuntimeParams] = None,
+    nat_parallelism: int = 1,
+    scan_parallelism: int = 1,
+) -> ChainRuntime:
+    """The §7.1 evaluation chain: NAT -> portscan -> load balancer, with
+    the trojan detector operating off-path attached to the NAT."""
+    chain = LogicalChain("paper-chain")
+    chain.add_vertex("nat", Nat, parallelism=nat_parallelism, entry=True)
+    chain.add_vertex("scan", PortscanDetector, parallelism=scan_parallelism)
+    chain.add_vertex("lb", LoadBalancer)
+    chain.add_vertex("trojan", TrojanDetector)
+    chain.add_edge("nat", "scan")
+    chain.add_edge("scan", "lb")
+    chain.add_edge("nat", "trojan", mirror=True)
+    return ChainRuntime(sim, chain, params=params)
+
+
+def build_trojan_chain(
+    sim: Simulator,
+    params: Optional[RuntimeParams] = None,
+    use_clocks: bool = True,
+    n_scrubbers: int = 3,
+) -> ChainRuntime:
+    """The Figure 2 chain: firewall -> scrubbers -> off-path trojan
+    detector. Scrubber instances are per-protocol (SSH/FTP/IRC flows land
+    on different instances via port-based partitioning)."""
+    chain = LogicalChain("figure2")
+    chain.add_vertex("firewall", Firewall, entry=True)
+    chain.add_vertex("scrubber", Scrubber, parallelism=n_scrubbers)
+    chain.add_vertex("trojan", lambda: TrojanDetector(use_clocks=use_clocks))
+    chain.add_edge("firewall", "scrubber")
+    chain.add_edge("scrubber", "trojan", mirror=True)
+    runtime = ChainRuntime(sim, chain, params=params)
+    # Per-protocol scrubbing: partition scrubber traffic by destination
+    # port so each protocol's flows share one instance (the Figure 2
+    # setup: "Each scrubber instance processes either FTP, SSH, or IRC").
+    runtime.splitter("scrubber").partition_fields = ("dst_port",)
+    runtime._apply_exclusivity()  # re-derive caching rights under the new split
+    return runtime

@@ -1,0 +1,62 @@
+"""CHC core: the chain framework and its correctness machinery (§3–§5).
+
+This package is the paper's primary contribution:
+
+* :mod:`~repro.core.clock` / :mod:`~repro.core.bitvector` — per-packet
+  logical clocks (root instance ID in the high bits) and the 32-bit XOR
+  bit-vector identifiers (§5, §5.4).
+* :mod:`~repro.core.nf_api` — the vertex programming model: NFs declare
+  state objects (scope + access pattern) and implement ``process``.
+* :mod:`~repro.core.dag` — logical chains (DAG API, §3) compiled into
+  physical chains with per-vertex parallelism.
+* :mod:`~repro.core.root` — the entry splitter: clock stamping, packet
+  logging, the delete/XOR protocol, replay (§5).
+* :mod:`~repro.core.splitter` — scope-aware traffic partitioning (§4.1).
+* :mod:`~repro.core.instance` — the NF instance runtime: worker threads,
+  framework-managed queues, measurement (§4.2).
+* :mod:`~repro.core.chain_runtime` — wires root, instances, splitters,
+  store clients, and the egress sink into a running chain.
+* :mod:`~repro.core.handover` — cross-instance state handover (Figure 4).
+* :mod:`~repro.core.cloning` — straggler mitigation with clone + replay
+  and duplicate suppression (§5.3).
+* :mod:`~repro.core.recovery` — NF and root failover (§5.4).
+* :mod:`~repro.core.vertex_manager` — statistics aggregation feeding
+  operator-supplied scaling/straggler logic (§3).
+"""
+
+from repro.core.bitvector import TagRegistry, encode_tag
+from repro.core.chain_runtime import ChainRuntime, RuntimeParams
+from repro.core.clock import LogicalClock, clock_root, clock_sequence
+from repro.core.cloning import CloneController
+from repro.core.dag import Edge, LogicalChain, Vertex
+from repro.core.handover import move_flows
+from repro.core.instance import NFInstance
+from repro.core.nf_api import NetworkFunction, Output, StateAPI
+from repro.core.recovery import fail_over_nf, fail_over_root
+from repro.core.root import Root
+from repro.core.splitter import Splitter
+from repro.core.vertex_manager import VertexManager
+
+__all__ = [
+    "ChainRuntime",
+    "CloneController",
+    "Edge",
+    "LogicalChain",
+    "LogicalClock",
+    "NFInstance",
+    "NetworkFunction",
+    "Output",
+    "Root",
+    "RuntimeParams",
+    "Splitter",
+    "StateAPI",
+    "TagRegistry",
+    "Vertex",
+    "VertexManager",
+    "clock_root",
+    "clock_sequence",
+    "encode_tag",
+    "fail_over_nf",
+    "fail_over_root",
+    "move_flows",
+]

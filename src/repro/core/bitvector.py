@@ -1,0 +1,72 @@
+"""32-bit XOR bit vectors for the non-blocking-update delete protocol
+(§5.4, Figure 6).
+
+Each packet carries a 32-bit vector initialised to zero. Whenever
+processing the packet induces a state update, the issuing side XORs a
+32-bit **tag** — the concatenation of a 16-bit entity ID and a 16-bit state
+object ID — into the vector. The store XORs the same tag into the root's
+per-packet accumulator when it *commits* the update. The root deletes a
+packet's log entry only when the accumulator matches the final vector
+carried by the delete request, i.e. every induced update has committed.
+
+The paper concatenates *instance* ID and object ID. We tag with the
+**vertex** ID instead: under straggler cloning the same logical update may
+be committed by either the original or the clone, and a vertex-level tag
+makes those two commits indistinguishable to the XOR check (which is the
+desired semantics — the update happened once, whoever issued it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+ID_BITS = 16
+ID_MASK = (1 << ID_BITS) - 1
+
+
+def encode_tag(entity_id: int, obj_id: int) -> int:
+    """Concatenate two 16-bit IDs into one 32-bit tag."""
+    if not 0 <= entity_id <= ID_MASK:
+        raise ValueError(f"entity_id {entity_id} exceeds 16 bits")
+    if not 0 <= obj_id <= ID_MASK:
+        raise ValueError(f"obj_id {obj_id} exceeds 16 bits")
+    return (entity_id << ID_BITS) | obj_id
+
+
+def decode_tag(tag: int) -> Tuple[int, int]:
+    return tag >> ID_BITS, tag & ID_MASK
+
+
+class TagRegistry:
+    """Assigns stable 16-bit IDs to vertex names and state object names.
+
+    IDs are assigned in registration order, so a chain built the same way
+    always produces the same tags (determinism across runs).
+    """
+
+    def __init__(self):
+        self._entities: Dict[str, int] = {}
+        self._objects: Dict[Tuple[str, str], int] = {}
+
+    def entity_id(self, name: str) -> int:
+        if name not in self._entities:
+            if len(self._entities) >= ID_MASK:
+                raise OverflowError("too many entities for 16-bit IDs")
+            self._entities[name] = len(self._entities) + 1
+        return self._entities[name]
+
+    def object_id(self, entity: str, obj_name: str) -> int:
+        key = (entity, obj_name)
+        if key not in self._objects:
+            if len(self._objects) >= ID_MASK:
+                raise OverflowError("too many state objects for 16-bit IDs")
+            self._objects[key] = len(self._objects) + 1
+        return self._objects[key]
+
+    def tag(self, entity: str, obj_name: str) -> int:
+        """The 32-bit (entity || object) tag for one state object."""
+        return encode_tag(self.entity_id(entity), self.object_id(entity, obj_name))
+
+    def tags_for(self, entity: str, obj_names) -> Dict[str, int]:
+        """Tag map for all of an entity's state objects."""
+        return {name: self.tag(entity, name) for name in obj_names}

@@ -1,0 +1,614 @@
+"""The CHC chain runtime: compiles a logical chain and runs it (§3, §4).
+
+``ChainRuntime`` owns everything Figure 3a draws:
+
+* the datastore cluster (one or more instances, vertices pinned to
+  instances);
+* the root (clock stamping, packet log, delete protocol);
+* per-vertex instances, each with its store client, worker threads and a
+  line-rate-limited input NIC;
+* one splitter per vertex (all upstream producers share the downstream
+  vertex's partitioning, as §4.1 requires);
+* the per-instance duplicate filters (§5.3) and the packet-copy accounting
+  that feeds the root's delete protocol (Figure 6);
+* handover rendezvous used by the Figure 4 protocol.
+
+Experiments use it like::
+
+    chain = LogicalChain()
+    chain.add_vertex("nat", Nat, parallelism=1, entry=True)
+    chain.add_vertex("scan", PortscanDetector)
+    chain.add_edge("nat", "scan")
+    runtime = ChainRuntime(sim, chain)
+    source = ReplaySource(sim, trace.packets, runtime.inject, load_fraction=0.5)
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.core.bitvector import TagRegistry
+from repro.core.clock import clock_root
+from repro.core.dag import LogicalChain
+from repro.core.duplicates import DuplicateFilter
+from repro.core.instance import NFInstance
+from repro.core.nf_api import Output
+from repro.core.root import DeleteRequest, Root
+from repro.core.splitter import FIVE_TUPLE, MoveMarker, Splitter
+from repro.core.vertex_manager import VertexManager
+from repro.simnet.engine import Channel, Event, Simulator
+from repro.simnet.monitor import LatencyRecorder, ThroughputMeter
+from repro.simnet.network import Link, Network
+from repro.simnet.nic import Nic
+from repro.store.client import StoreClient
+from repro.store.cluster import StoreCluster
+from repro.store.datastore import DatastoreInstance
+from repro.traffic.packet import Packet
+
+_FIELD_POSITION = {"src_ip": 0, "dst_ip": 1, "src_port": 2, "dst_port": 3, "proto": 4}
+
+
+@dataclass
+class RuntimeParams:
+    """Calibrated simulation constants and CHC configuration toggles.
+
+    Latency model (all µs): NF<->store links are ``store_link_us`` one-way
+    (RTT ≈ 28µs, matching §7.2's 29µs clock-persist cost); NF->NF hops are
+    ``hop_link_us``; the root<->last-NF delete path is ``root_link_us``
+    one-way (§7.2 reports a 7.9µs median synchronous delete).
+
+    Model toggles map to §7.1's externalization models:
+
+    * EO        — ``caching_enabled=False, wait_for_acks=True``
+    * EO+C      — ``caching_enabled=True,  wait_for_acks=True``
+    * EO+C+NA   — ``caching_enabled=True,  wait_for_acks=False`` (default)
+    """
+
+    store_link_us: float = 14.0
+    hop_link_us: float = 3.0
+    root_link_us: float = 4.0
+    proc_time_us: float = 2.0
+    proc_time_overrides: Dict[str, float] = field(default_factory=dict)
+    n_workers: int = 8
+    nic_rate_gbps: float = 10.0
+    nic_overhead_bits: int = 600
+    wait_for_acks: bool = False
+    retransmit_timeout_us: Optional[float] = 500.0
+    caching_enabled: bool = True
+    sync_delete: bool = False
+    suppress_duplicates: bool = True
+    store_dedup: bool = True
+    clock_persist_every: int = 100
+    log_in_store: bool = False
+    local_log_cost_us: float = 1.0
+    log_threshold: int = 500_000
+    store_threads: int = 4
+    store_op_service_us: float = 0.196
+    checkpoint_interval_us: Optional[float] = None
+    seed: int = 0
+
+    def proc_time_for(self, vertex: str) -> float:
+        return self.proc_time_overrides.get(vertex, self.proc_time_us)
+
+
+class ChainRuntime:
+    """See module docstring."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        chain: LogicalChain,
+        params: Optional[RuntimeParams] = None,
+        n_store_instances: int = 1,
+        n_roots: int = 1,
+        start_managers: bool = False,
+    ):
+        chain.validate()
+        self.sim = sim
+        self.chain = chain
+        self.params = params or RuntimeParams()
+        self.network = Network(
+            sim, Link(latency_us=self.params.store_link_us), seed=self.params.seed
+        )
+        self.tags = TagRegistry()
+
+        # --- datastore cluster ------------------------------------------
+        self.stores: List[DatastoreInstance] = [
+            DatastoreInstance(
+                sim,
+                self.network,
+                f"store{i}",
+                n_threads=self.params.store_threads,
+                op_service_us=self.params.store_op_service_us,
+                root_endpoint="root{root_id}" if n_roots > 1 else "root0",
+                checkpoint_interval_us=self.params.checkpoint_interval_us,
+                dedup_enabled=self.params.store_dedup,
+                seed=self.params.seed + i,
+            )
+            for i in range(n_store_instances)
+        ]
+        self.store = StoreCluster(self.stores)
+
+        # --- instances, splitters ---------------------------------------
+        self.instances: Dict[str, NFInstance] = {}
+        self.vertex_instances: Dict[str, List[str]] = {}
+        self.splitters: Dict[str, Splitter] = {}
+        self.nics: Dict[str, Nic] = {}
+        self.filters: Dict[str, DuplicateFilter] = {}
+        self.managers: Dict[str, VertexManager] = {}
+        self._sinks: Set[str] = set(chain.sinks())
+
+        for index, (name, vertex) in enumerate(chain.vertices.items()):
+            self.store.assign_vertex(name, self.stores[index % n_store_instances].name)
+            self.vertex_instances[name] = []
+            probe_nf = vertex.nf_factory()
+            for op_name, op_fn in probe_nf.custom_operations().items():
+                self.store.register_custom_op(op_name, op_fn)
+            for k in range(vertex.parallelism):
+                self.add_instance(name, suffix=str(k))
+            scopes = probe_nf.scope() or [FIVE_TUPLE]
+            self.splitters[name] = Splitter(
+                name, list(self.vertex_instances[name]), scopes=scopes
+            )
+
+        # --- roots ---------------------------------------------------------
+        # §4.1/§5: R root instances, statically partitioned input, each
+        # stamping clocks carrying its ID in the high bits.
+        self.roots: List[Root] = [
+            Root(
+                sim,
+                self.network,
+                f"root{root_id}",
+                forward=self._forward_from_root,
+                store_endpoint=self.stores[0].name,
+                root_id=root_id,
+                persist_every=self.params.clock_persist_every,
+                log_in_store=self.params.log_in_store,
+                local_log_cost_us=self.params.local_log_cost_us,
+                log_threshold=self.params.log_threshold,
+                store_endpoints_for_prune=[s.name for s in self.stores],
+            )
+            for root_id in range(n_roots)
+        ]
+        for root in self.roots:
+            root.on_deleted.append(self._on_packet_deleted)
+            for instance_id in self.instances:
+                self.network.connect(root.name, instance_id, Link(self.params.root_link_us))
+
+        # --- egress & bookkeeping -----------------------------------------
+        self.egress = Channel(sim, name="egress")
+        self.egress_recorder = LatencyRecorder(name="chain-egress")
+        self.egress_meter = ThroughputMeter(name="chain-egress")
+        self.duplicates_suppressed = 0
+        self._move_events: Dict[Tuple[str, Tuple], Event] = {}
+
+        self._apply_exclusivity()
+        if start_managers:
+            self.start_vertex_managers()
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+
+    def add_instance(
+        self,
+        vertex_name: str,
+        suffix: str,
+        start_buffering: bool = False,
+        extra_delay=None,
+        join_splitter: bool = True,
+    ) -> NFInstance:
+        """Create one instance of a vertex (initial build, scale-up, clone,
+        or failover all come through here)."""
+        vertex = self.chain.vertices[vertex_name]
+        instance_id = f"{vertex_name}-{suffix}"
+        if instance_id in self.instances:
+            raise ValueError(f"instance {instance_id!r} already exists")
+        nf = vertex.nf_factory()
+        specs = nf.state_specs()
+        client = StoreClient(
+            self.sim,
+            self.network,
+            self.store,
+            vertex_id=vertex_name,
+            instance_id=instance_id,
+            specs=specs,
+            vector_tags=self.tags.tags_for(vertex_name, specs.keys()),
+            wait_for_acks=self.params.wait_for_acks,
+            caching_enabled=self.params.caching_enabled,
+            retransmit_timeout_us=self.params.retransmit_timeout_us,
+        )
+        for op_name, op_fn in nf.custom_operations().items():
+            client.registry.register(op_name, op_fn, allow_replace=True)
+        instance = NFInstance(
+            self.sim,
+            self,
+            vertex_name,
+            instance_id,
+            nf,
+            client,
+            n_workers=self.params.n_workers,
+            proc_time_us=self.params.proc_time_for(vertex_name),
+            extra_delay=extra_delay,
+            start_buffering=start_buffering,
+        )
+        self.instances[instance_id] = instance
+        self.vertex_instances[vertex_name].append(instance_id)
+        self.nics[instance_id] = Nic(
+            self.sim,
+            self.params.nic_rate_gbps,
+            deliver=instance.enqueue,
+            name=f"{instance_id}-nic",
+            per_packet_overhead_bits=self.params.nic_overhead_bits,
+        )
+        self.filters[instance_id] = DuplicateFilter(
+            instance_id, enabled=self.params.suppress_duplicates
+        )
+        for root in getattr(self, "roots", []):
+            self.network.connect(root.name, instance_id, Link(self.params.root_link_us))
+        splitter = self.splitters.get(vertex_name)
+        if splitter is not None and join_splitter:
+            splitter.add_instance(instance_id)
+        if splitter is not None:
+            # late-added instances (scale-up, clone, failover) derive their
+            # caching rights from the current split like everyone else
+            for obj_name, spec in instance.client.specs.items():
+                instance.client._exclusive[obj_name] = splitter.grants_exclusive(spec)
+        return instance
+
+    def instance(self, instance_id: str) -> NFInstance:
+        return self.instances[instance_id]
+
+    def instances_of(self, vertex_name: str) -> List[NFInstance]:
+        return [
+            self.instances[i]
+            for i in self.vertex_instances[vertex_name]
+            if i in self.instances
+        ]
+
+    def splitter(self, vertex_name: str) -> Splitter:
+        return self.splitters[vertex_name]
+
+    def start_vertex_managers(self, interval_us: float = 1_000.0) -> None:
+        for name, vertex in self.chain.vertices.items():
+            if name in self.managers:
+                continue
+            self.managers[name] = VertexManager(
+                self.sim,
+                name,
+                instances_fn=lambda v=name: self.instances_of(v),
+                interval_us=interval_us,
+                scaling_logic=vertex.scaling_logic,
+                straggler_logic=vertex.straggler_logic,
+            )
+
+    def _apply_exclusivity(self) -> None:
+        """Tell every client which cross-flow objects the current split
+        confines to it (§4.3 "Cross-flow state"). Free at build time."""
+        for vertex_name, instance_ids in self.vertex_instances.items():
+            splitter = self.splitters[vertex_name]
+            for instance_id in instance_ids:
+                instance = self.instances.get(instance_id)
+                if instance is None:
+                    continue
+                for obj_name, spec in instance.client.specs.items():
+                    exclusive = splitter.grants_exclusive(spec)
+                    instance.client._exclusive[obj_name] = exclusive
+
+    def rebalance_vertex(self, vertex_name: str, finer_fields=None) -> Generator:
+        """Walk the vertex's partitioning one scope finer (§4.1).
+
+        "The framework ... considers progressively finer grained scopes and
+        repeats the above process until load is even." Refinement remaps
+        some flow groups to other instances; every remapped group moves via
+        the Figure 4 handover, so the walk is loss-free and order-
+        preserving, and caching exclusivity is re-derived afterwards.
+
+        Returns the list of :class:`MoveResult`, or ``None`` when already
+        at the finest declared scope.
+        """
+        from repro.core.handover import move_flows
+
+        splitter = self.splitter(vertex_name)
+        if finer_fields is None:
+            ordered = splitter.scopes
+            try:
+                index = ordered.index(splitter.partition_fields)
+            except ValueError:
+                index = len(ordered)
+            if index == 0:
+                return None
+            finer_fields = ordered[index - 1]
+        splitter.partition_fields = tuple(finer_fields)
+
+        # Which owned flow groups now route elsewhere?
+        pending: Dict[str, Dict[Tuple, str]] = {}
+        for instance in self.instances_of(vertex_name):
+            if not instance.alive:
+                continue
+            for _sk, (_obj, flow_key) in instance.client.owned_items().items():
+                if flow_key is None:
+                    continue
+                scope_key = self._project(flow_key, splitter.partition_fields)
+                if scope_key is None:
+                    continue
+                destination = splitter.current_instance_for(scope_key)
+                if destination != instance.instance_id:
+                    pending.setdefault(destination, {})[scope_key] = instance.instance_id
+        results = []
+        for destination, holders in sorted(pending.items()):
+            outcome = yield from move_flows(
+                self, vertex_name, list(holders), destination, current_of=holders
+            )
+            results.append(outcome)
+        yield from self.notify_split_changed(vertex_name)
+        return results
+
+    def notify_split_changed(self, vertex_name: str) -> Generator:
+        """Re-evaluate caching exclusivity after a split change; clients
+        losing exclusivity flush (Figure 9's experiment pivots on this)."""
+        splitter = self.splitters[vertex_name]
+        for instance in self.instances_of(vertex_name):
+            for obj_name, spec in instance.client.specs.items():
+                exclusive = splitter.grants_exclusive(spec)
+                yield from instance.client.set_exclusive(obj_name, exclusive)
+
+    # ------------------------------------------------------------------
+    # traffic path
+    # ------------------------------------------------------------------
+
+    @property
+    def root(self) -> Root:
+        """The (first) root — single-root deployments use this directly."""
+        return self.roots[0]
+
+    @root.setter
+    def root(self, new_root: Root) -> None:
+        # root failover replaces the failed root in place
+        for index, existing in enumerate(self.roots):
+            if existing.root_id == new_root.root_id:
+                self.roots[index] = new_root
+                return
+        self.roots[0] = new_root
+
+    def root_for(self, clock: int) -> Root:
+        """The root that logged this clock (high bits carry the root ID)."""
+        if len(self.roots) == 1:
+            return self.roots[0]
+        root_id = clock_root(clock)
+        for root in self.roots:
+            if root.root_id == root_id:
+                return root
+        return self.roots[0]
+
+    def inject(self, packet: Packet) -> None:
+        """Feed one input packet into the chain.
+
+        With multiple roots, traffic is statically partitioned among them
+        by flow (the operator requirement of §4.1: no overlap between the
+        root instances' shares).
+        """
+        if len(self.roots) == 1:
+            self.roots[0].inject(packet)
+            return
+        from repro.util import stable_hash
+
+        index = stable_hash(packet.five_tuple.canonical().key()) % len(self.roots)
+        self.roots[index].inject(packet)
+
+    def _forward_from_root(self, packet: Packet) -> None:
+        entry = self.chain.entry
+        destinations = self._deliver(entry, packet)
+        if destinations:
+            self.root_for(packet.clock).note_destination(packet.clock, destinations[0])
+
+    def _replicate(self, packet: Packet) -> Packet:
+        copy = packet.copy()
+        copy.bitvector = 0  # each tracked copy reports its own tags once
+        return copy
+
+    def _deliver(self, vertex_name: str, packet: Packet) -> List[str]:
+        """Route one packet copy to a vertex; returns instance IDs reached."""
+        splitter = self.splitters[vertex_name]
+        destinations = splitter.route(packet)
+        copies = [(destinations[0], packet)]
+        for dst in destinations[1:]:
+            copies.append((dst, self._replicate(packet)))
+        if len(copies) > 1:
+            self.root_for(packet.clock).add_outstanding(
+                packet.clock, len(copies) - 1, packet.generation
+            )
+        reached: List[str] = []
+        for dst, copy in copies:
+            if not self.filters[dst].admit(copy):
+                self.duplicates_suppressed += 1
+                # The suppressed copy's updates were (or will be) emulated,
+                # so its tags are accounted for by the surviving copy.
+                self.root_for(copy.clock).report_done(copy.clock, 0, copy.generation)
+                continue
+            nic = self.nics[dst]
+            self.sim.schedule(
+                self.params.hop_link_us, nic.send, copy, copy.size_bits
+            )
+            reached.append(dst)
+        return reached
+
+    def _inherit(self, child: Packet, parent: Packet) -> None:
+        """NF-created output packets join the parent's accounting."""
+        child.clock = parent.clock
+        child.generation = parent.generation
+        child.replayed = parent.replayed
+        child.replay_target = parent.replay_target
+        child.replay_end = False
+        child.ingress_time = parent.ingress_time
+        child.mark_first = False
+        child.mark_last = False
+        child.control = None
+
+    def emit(self, instance: NFInstance, packet: Packet, outputs: List[Output]) -> Generator:
+        """Route an instance's outputs; runs the copy accounting and the
+        last-NF delete protocol (§5.4). Generator — the worker drives it."""
+        vertex_name = instance.vertex_name
+        clock, generation = packet.clock, packet.generation
+        out_edges = self.chain.out_edges(vertex_name)
+
+        deliveries: List[Tuple[str, Packet]] = []
+        exits: List[Packet] = []
+        carrier_assigned = False
+        for output in outputs:
+            child = output.packet
+            if child is not packet:
+                self._inherit(child, packet)
+            matches = [e for e in out_edges if e.label == output.edge]
+            if not matches:
+                exits.append(child)
+                continue
+            for edge in matches:
+                if not carrier_assigned:
+                    copy = child
+                    copy.bitvector = packet.bitvector
+                    carrier_assigned = True
+                else:
+                    copy = child.copy()
+                    copy.bitvector = 0
+                deliveries.append((edge.dst, copy))
+
+        if not deliveries:
+            # This copy's journey ends at this instance: either the chain
+            # exit (formal delete protocol) or a drop (direct report).
+            if vertex_name in self._sinks or exits:
+                if self.params.sync_delete and clock:
+                    # §7.2: the output is released only after the delete is
+                    # acknowledged. Only this packet's release waits — the
+                    # worker moves on (the NF pipeline is not stalled).
+                    self.sim.process(
+                        self._sync_delete_then_egress(
+                            instance, clock, packet.bitvector, generation,
+                            vertex_name, list(exits),
+                        ),
+                        name=f"sync-delete-{clock}",
+                    )
+                    return
+                yield from self._send_delete(instance, clock, packet.bitvector, generation)
+            else:
+                self.root_for(clock).report_done(clock, packet.bitvector, generation)
+            for child in exits:
+                self._to_egress(vertex_name, child)
+            return
+
+        if len(deliveries) > 1:
+            self.root_for(clock).add_outstanding(clock, len(deliveries) - 1, generation)
+        for child in exits:
+            self._to_egress(vertex_name, child)
+        for dst_vertex, copy in deliveries:
+            self._deliver(dst_vertex, copy)
+
+    def _send_delete(
+        self, instance: NFInstance, clock: int, vector: int, generation: int
+    ) -> Generator:
+        """Last-NF delete request (§5.4), asynchronous form."""
+        if clock == 0:
+            return
+        request = DeleteRequest(clock=clock, vector=vector, generation=generation)
+        instance.client.endpoint.send(self.root_for(clock).name, request)
+        return
+        yield  # pragma: no cover - generator protocol
+
+    def _sync_delete_then_egress(
+        self,
+        instance: NFInstance,
+        clock: int,
+        vector: int,
+        generation: int,
+        vertex_name: str,
+        exits: List[Packet],
+    ) -> Generator:
+        """Synchronous delete (§7.2): wait for the root's ACK, then release
+        the output — the end host can never see a duplicate even if the
+        last NF fails right here (Theorem B.4.4)."""
+        request = DeleteRequest(clock=clock, vector=vector, generation=generation)
+        yield from instance.client.endpoint.call(self.root_for(clock).name, request)
+        for child in exits:
+            self._to_egress(vertex_name, child)
+
+    def _to_egress(self, vertex_name: str, packet: Packet) -> None:
+        self.egress_recorder.record(
+            self.sim.now - packet.ingress_time, timestamp=self.sim.now
+        )
+        self.egress_meter.add(packet.size_bits, self.sim.now)
+        self.egress.put((vertex_name, packet))
+
+    def _on_packet_deleted(self, clock: int) -> None:
+        # Forget filter state only after the same grace period the store
+        # prunes use: late copies of a just-deleted packet (a replay pass
+        # overlapping the original's completion) must still be suppressed.
+        self.sim.schedule(self.root_for(clock).prune_grace_us, self._forget_clock, clock)
+
+    def _forget_clock(self, clock: int) -> None:
+        for dup_filter in self.filters.values():
+            dup_filter.forget(clock)
+
+    # ------------------------------------------------------------------
+    # handover rendezvous (Figure 4; used by NFInstance and handover.py)
+    # ------------------------------------------------------------------
+
+    def move_event(self, vertex_name: str, marker: MoveMarker) -> Event:
+        key = (vertex_name, marker.move_id)
+        event = self._move_events.get(key)
+        if event is None:
+            event = self.sim.event(name=f"move({vertex_name},#{marker.move_id})")
+            self._move_events[key] = event
+        return event
+
+    @staticmethod
+    def _project(flow_key: Tuple, fields: Tuple[str, ...]) -> Optional[Tuple]:
+        """Project a canonical five-tuple flow key onto partition fields."""
+        if len(flow_key) != 5:
+            return None
+        try:
+            return tuple(flow_key[_FIELD_POSITION[f]] for f in fields)
+        except KeyError:
+            return None
+
+    def _move_notify_key(self, vertex_name: str, marker: MoveMarker) -> str:
+        return f"{vertex_name}\x1f__move__\x1f{marker.move_id}"
+
+    def release_moved_state(self, instance: NFInstance, marker: MoveMarker) -> Generator:
+        """Old-instance side of Figure 4 step 5: hand matching per-flow keys
+        to the new instance in one bulk metadata update."""
+        moved_keys = [
+            storage_key
+            for storage_key, (_obj, flow_key) in instance.client.owned_items().items()
+            if flow_key is not None
+            and self._project(flow_key, marker.fields) in marker.scope_keys
+        ]
+        notify_key = self._move_notify_key(instance.vertex_name, marker)
+        yield from instance.client.release_keys_bulk(
+            moved_keys, marker.new_instance, notify_key
+        )
+        event = self.move_event(instance.vertex_name, marker)
+        if not event.triggered:
+            event.succeed(len(moved_keys))
+
+    def moved_state_available(self, instance: NFInstance, marker: MoveMarker) -> Generator:
+        """New-instance side of step 3: consult the store (one RTT for the
+        owner check / callback registration), then the rendezvous event."""
+        event = self.move_event(instance.vertex_name, marker)
+        if event.triggered:
+            return True
+        notify_key = self._move_notify_key(instance.vertex_name, marker)
+        from repro.store.protocol import WatchRequest
+
+        yield instance.client.endpoint.call_event(
+            self.store.endpoint_for_key(notify_key),
+            WatchRequest(key=notify_key, endpoint=instance.instance_id, kind="owner"),
+        )
+        return event.triggered
+
+    def wait_for_handover(self, instance: NFInstance, marker: MoveMarker) -> Generator:
+        event = self.move_event(instance.vertex_name, marker)
+        if not event.triggered:
+            yield event
+        return True

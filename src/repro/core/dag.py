@@ -1,0 +1,134 @@
+"""Logical chain definition: the operator-facing DAG API (§3).
+
+Operators define a logical DAG of vertices (NF programs) and edges (data
+flow). CHC compiles it into a physical DAG — one or more instances per
+vertex, a splitter after every instance — in
+:mod:`repro.core.chain_runtime`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.nf_api import NetworkFunction
+
+
+@dataclass
+class Vertex:
+    """One logical NF in the chain.
+
+    ``parallelism`` is the default instance count (operators may scale at
+    runtime). ``scaling_logic`` / ``straggler_logic`` are the operator-
+    supplied callbacks the vertex manager feeds with aggregated statistics
+    (§3); both optional.
+    """
+
+    name: str
+    nf_factory: Callable[[], NetworkFunction]
+    parallelism: int = 1
+    scaling_logic: Optional[Callable] = None
+    straggler_logic: Optional[Callable] = None
+
+    def __post_init__(self):
+        if self.parallelism < 1:
+            raise ValueError(f"vertex {self.name!r}: parallelism must be >= 1")
+
+
+@dataclass
+class Edge:
+    """Directed data flow between vertices.
+
+    ``label`` matches the :class:`~repro.core.nf_api.Output` edge name the
+    source NF emits on. ``mirror=True`` makes this an off-path copy edge:
+    everything the source emits on its main output is *also* duplicated to
+    the destination (the Figure 1b "copy of suspicious traffic" DPI and the
+    Figure 2 off-path trojan detector).
+    """
+
+    src: str
+    dst: str
+    label: str = "out"
+    mirror: bool = False
+
+
+class LogicalChain:
+    """The DAG the operator hands to CHC."""
+
+    def __init__(self, name: str = "chain"):
+        self.name = name
+        self.vertices: Dict[str, Vertex] = {}
+        self.edges: List[Edge] = []
+        self.entry: Optional[str] = None
+
+    def add_vertex(
+        self,
+        name: str,
+        nf_factory: Callable[[], NetworkFunction],
+        parallelism: int = 1,
+        entry: bool = False,
+        scaling_logic: Optional[Callable] = None,
+        straggler_logic: Optional[Callable] = None,
+    ) -> Vertex:
+        if name in self.vertices:
+            raise ValueError(f"duplicate vertex {name!r}")
+        vertex = Vertex(
+            name=name,
+            nf_factory=nf_factory,
+            parallelism=parallelism,
+            scaling_logic=scaling_logic,
+            straggler_logic=straggler_logic,
+        )
+        self.vertices[name] = vertex
+        if entry or self.entry is None:
+            self.entry = name
+        return vertex
+
+    def add_edge(self, src: str, dst: str, label: str = "out", mirror: bool = False) -> Edge:
+        for endpoint in (src, dst):
+            if endpoint not in self.vertices:
+                raise KeyError(f"unknown vertex {endpoint!r}")
+        edge = Edge(src=src, dst=dst, label=label, mirror=mirror)
+        self.edges.append(edge)
+        return edge
+
+    def out_edges(self, vertex: str) -> List[Edge]:
+        return [e for e in self.edges if e.src == vertex]
+
+    def in_edges(self, vertex: str) -> List[Edge]:
+        return [e for e in self.edges if e.dst == vertex]
+
+    def sinks(self) -> List[str]:
+        """Vertices with no outgoing edges (chain exits, incl. off-path)."""
+        return [name for name in self.vertices if not self.out_edges(name)]
+
+    def validate(self) -> None:
+        """Check the DAG is connected from the entry and acyclic."""
+        if self.entry is None:
+            raise ValueError("chain has no entry vertex")
+        # reachability
+        seen = set()
+        frontier = [self.entry]
+        while frontier:
+            current = frontier.pop()
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(e.dst for e in self.out_edges(current))
+        unreachable = set(self.vertices) - seen
+        if unreachable:
+            raise ValueError(f"vertices unreachable from entry: {sorted(unreachable)}")
+        # acyclicity via DFS colouring
+        WHITE, GREY, BLACK = 0, 1, 2
+        colour = {name: WHITE for name in self.vertices}
+
+        def visit(node: str) -> None:
+            colour[node] = GREY
+            for edge in self.out_edges(node):
+                if colour[edge.dst] == GREY:
+                    raise ValueError(f"cycle through {edge.src!r} -> {edge.dst!r}")
+                if colour[edge.dst] == WHITE:
+                    visit(edge.dst)
+            colour[node] = BLACK
+
+        visit(self.entry)

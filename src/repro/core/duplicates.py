@@ -1,0 +1,50 @@
+"""Queue-level duplicate-output suppression (§5.3, duplicate form #1).
+
+When a straggler and its clone both emit output for the same input packet,
+"the framework suppresses duplicate outputs associated with the same
+logical clock at message queue(s) of immediate downstream instance(s)".
+The filter sits in front of every instance's input queue.
+
+Replay-marked packets bypass the filter: §5.3 #3 requires intervening
+instances to recognise them as non-suspicious and process them (their
+state updates are emulated by the store; their outputs must still travel
+so the replay reaches its target).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.traffic.packet import Packet
+
+
+class DuplicateFilter:
+    """Per-downstream-instance clock filter."""
+
+    def __init__(self, instance_id: str, enabled: bool = True):
+        self.instance_id = instance_id
+        self.enabled = enabled
+        self._seen: Set[int] = set()
+        self.suppressed = 0
+
+    def admit(self, packet: Packet) -> bool:
+        """True if the packet should be enqueued; False if suppressed."""
+        if not self.enabled or packet.clock == 0:
+            return True
+        if packet.replayed:
+            # Replays are recognised, not suspicious (§5.3 #3). Remember
+            # the clock so post-replay duplicates are still caught.
+            self._seen.add(packet.clock)
+            return True
+        if packet.clock in self._seen:
+            self.suppressed += 1
+            return False
+        self._seen.add(packet.clock)
+        return True
+
+    def forget(self, clock: int) -> None:
+        """Drop filter state for a deleted packet (bounded memory)."""
+        self._seen.discard(clock)
+
+    def __len__(self) -> int:
+        return len(self._seen)

@@ -1,0 +1,84 @@
+"""Cross-instance state handover for elastic scaling (§5.1, Figure 4).
+
+:func:`move_flows` drives the full protocol:
+
+1. the splitter emits a "last" marker to each old instance and arms
+   "first" marking for the new instance;
+2. the old instance drains already-queued packets (worker barrier),
+   flushes cached *operations* (ACK fence) and hands ownership metadata to
+   the new instance in one bulk store message;
+3. the new instance, which has been buffering the moved flows since their
+   first marked packet, is notified and drains its buffer in order.
+
+Loss-freeness: every packet either drains through the old instance before
+the marker, or waits at the new instance until ownership lands — no update
+is ever rejected by the store's ownership check. Order preservation: the
+new instance starts processing strictly after the old instance's last
+moved packet (the buffer drains in arrival order), so updates hit the
+store in upstream-splitter arrival order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, Iterable, List, Tuple
+
+
+@dataclass
+class MoveResult:
+    """Outcome of one reallocation."""
+
+    vertex: str
+    new_instance: str
+    n_keys: int
+    n_markers: int
+    started_at: float
+    finished_at: float
+
+    @property
+    def duration_us(self) -> float:
+        return self.finished_at - self.started_at
+
+
+def move_flows(
+    runtime,
+    vertex_name: str,
+    scope_keys: Iterable[Tuple],
+    new_instance_id: str,
+    current_of=None,
+) -> Generator:
+    """Reallocate the given partition keys to ``new_instance_id``.
+
+    A simulation process body (``yield from`` it, or wrap in
+    ``sim.process``). Returns a :class:`MoveResult` once ownership has
+    fully moved (Figure 4 step 6 reached for every marker). ``current_of``
+    maps keys to their actual holders when the default routing can't tell
+    (scope refinement).
+    """
+    splitter = runtime.splitter(vertex_name)
+    scope_keys = list(scope_keys)
+    started_at = runtime.sim.now
+    markers = splitter.begin_move(scope_keys, new_instance_id, current_of=current_of)
+
+    events = []
+    for control_packet in markers:
+        marker = control_packet.control
+        events.append(runtime.move_event(vertex_name, marker))
+        # The marker travels the same path as data to the old instance.
+        runtime.sim.schedule(
+            runtime.params.hop_link_us,
+            runtime.nics[marker.old_instance].send,
+            control_packet,
+            control_packet.size_bits,
+        )
+    pending = [event for event in events if not event.triggered]
+    if pending:
+        yield runtime.sim.all_of(pending)
+    return MoveResult(
+        vertex=vertex_name,
+        new_instance=new_instance_id,
+        n_keys=len(scope_keys),
+        n_markers=len(markers),
+        started_at=started_at,
+        finished_at=runtime.sim.now,
+    )

@@ -1,0 +1,321 @@
+"""The NF instance runtime (§4.2, §6).
+
+One :class:`NFInstance` models a multi-threaded NF process: a receive loop
+pulls from the framework-managed input queue and shards packets across
+worker threads by flow (per-flow order is preserved; cross-flow updates may
+interleave, exactly as in the C++ prototype). Each worker charges the NF's
+per-packet CPU cost, runs the vertex program (whose state accesses go
+through the store client and consume simulated RTTs per Table 1), records
+the per-packet processing time, and hands outputs back to the runtime.
+
+The instance also implements the receive-side halves of the correctness
+protocols:
+
+* **handover (new instance)** — on a ``mark_first`` packet it checks state
+  ownership and buffers the moved flow until the old instance releases it
+  (Figure 4 steps 3–7);
+* **handover (old instance)** — a ``mark_last`` control marker is treated
+  as a barrier across workers; once every already-queued packet has
+  drained, cached state is flushed and ownership released (step 5);
+* **replay buffering** — a freshly created clone/failover instance
+  processes replayed traffic first and buffers live traffic until the
+  packet marked ``replay_end`` has been processed (§5.3).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.core.nf_api import NetworkFunction, Output, StateAPI
+from repro.core.splitter import MoveMarker
+from repro.simnet.engine import Channel, Process, Simulator
+from repro.simnet.monitor import LatencyRecorder, ThroughputMeter
+from repro.store.client import StoreClient
+from repro.traffic.packet import Packet, scope_fields
+from repro.util import stable_hash
+
+
+class CHCStateAPI(StateAPI):
+    """StateAPI bound to one packet's context.
+
+    One is created per packet being processed: worker threads handle
+    packets concurrently, and clock/sequence context must never leak
+    between them.
+    """
+
+    def __init__(self, client: StoreClient, ctx):
+        self.client = client
+        self.ctx = ctx
+
+    def read(self, obj_name: str, flow_key: Optional[Tuple]) -> Generator:
+        return (yield from self.client.read(obj_name, flow_key, ctx=self.ctx))
+
+    def update(
+        self,
+        obj_name: str,
+        flow_key: Optional[Tuple],
+        op: str,
+        *args: Any,
+        need_result: bool = False,
+    ) -> Generator:
+        return (
+            yield from self.client.update(
+                obj_name, flow_key, op, *args, need_result=need_result, ctx=self.ctx
+            )
+        )
+
+    def nondet(self, purpose: str, kind: str = "random") -> Generator:
+        return (yield from self.client.nondet(purpose, kind, ctx=self.ctx))
+
+
+@dataclass
+class InstanceStats:
+    processed: int = 0
+    duplicates_seen: int = 0
+    dropped: int = 0
+    control_markers: int = 0
+    buffered: int = 0
+
+
+class NFInstance:
+    """One running instance of a vertex. See module docstring."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        runtime,  # ChainRuntime (duck-typed to avoid an import cycle)
+        vertex_name: str,
+        instance_id: str,
+        nf: NetworkFunction,
+        client: StoreClient,
+        n_workers: int = 8,
+        proc_time_us: float = 2.0,
+        extra_delay: Optional[Callable[[], float]] = None,
+        start_buffering: bool = False,
+    ):
+        self.sim = sim
+        self.runtime = runtime
+        self.vertex_name = vertex_name
+        self.instance_id = instance_id
+        self.nf = nf
+        self.client = client
+        self.n_workers = n_workers
+        self.proc_time_us = proc_time_us
+        self.extra_delay = extra_delay
+
+        self.input = Channel(sim, name=f"{instance_id}-input")
+        # recorder: pure per-packet processing time (Figure 8's metric);
+        # sojourn: arrival-at-NF to completion, queueing included (what
+        # Figures 12/13 plot — stalls and recovery show up as queue wait).
+        self.recorder = LatencyRecorder(name=instance_id)
+        self.sojourn = LatencyRecorder(name=f"{instance_id}-sojourn")
+        self.throughput = ThroughputMeter(name=instance_id)
+        self.stats = InstanceStats()
+
+        self._alive = True
+        self._buffering = start_buffering
+        self._live_buffer: List[Packet] = []
+        self._pending_moves: Dict[int, MoveMarker] = {}  # inbound, incomplete
+        self._completed_moves: Set[int] = set()
+        self._seen_clocks: Set[int] = set()
+        self._barrier_counts: Dict[int, int] = {}
+
+        self._worker_queues = [
+            Channel(sim, name=f"{instance_id}-w{i}") for i in range(n_workers)
+        ]
+        self._processes: List[Process] = [
+            sim.process(self._worker_loop(q), name=f"{instance_id}-w{i}")
+            for i, q in enumerate(self._worker_queues)
+        ]
+        self._processes.append(sim.process(self._receive_loop(), name=f"{instance_id}-rx"))
+        self._processes.append(sim.process(self._query_loop(), name=f"{instance_id}-queries"))
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self.input) + sum(len(q) for q in self._worker_queues)
+
+    def fail(self) -> None:
+        """Fail-stop: internal state, queued and in-flight packets vanish."""
+        if not self._alive:
+            return
+        self._alive = False
+        for process in self._processes:
+            process.kill()
+        self.client.fail()
+        self.input.clear()
+        for queue in self._worker_queues:
+            queue.clear()
+        self._live_buffer.clear()
+        self._pending_moves.clear()
+
+    def stop_buffering(self) -> None:
+        """Replay finished (or was empty): release buffered live traffic."""
+        if not self._buffering:
+            return
+        self._buffering = False
+        pending, self._live_buffer = self._live_buffer, []
+        for packet in pending:
+            self._dispatch(packet)
+
+    # ------------------------------------------------------------------
+    # receive path
+    # ------------------------------------------------------------------
+
+    def enqueue(self, packet: Packet) -> None:
+        packet.queued_at = self.sim.now
+        self.input.put(packet)
+
+    def _receive_loop(self) -> Generator:
+        while self._alive:
+            packet: Packet = yield self.input.get()
+            if packet.control is not None and packet.mark_last:
+                # Handover barrier: every worker must pass it (§5.1 step 5
+                # happens only after all queued packets of the flow drain).
+                self.stats.control_markers += 1
+                for queue in self._worker_queues:
+                    queue.put(packet)
+                continue
+            if self._buffering and not packet.replayed:
+                self._live_buffer.append(packet)
+                self.stats.buffered += 1
+                continue
+            self._dispatch(packet)
+
+    def _dispatch(self, packet: Packet) -> None:
+        shard = stable_hash(packet.five_tuple.canonical().key()) % self.n_workers
+        self._worker_queues[shard].put(packet)
+
+    def _worker_loop(self, queue: Channel) -> Generator:
+        while self._alive:
+            packet: Packet = yield queue.get()
+            if packet.control is not None and packet.mark_last:
+                yield from self._on_last_marker(packet.control)
+                continue
+            marker: Optional[MoveMarker] = None
+            if packet.mark_first and isinstance(packet.control, MoveMarker):
+                marker = packet.control
+            else:
+                marker = self._matching_pending_move(packet)
+            if marker is not None:
+                yield from self._ensure_moved_in(marker)
+            yield from self._process_packet(packet)
+
+    def _matching_pending_move(self, packet: Packet) -> Optional[MoveMarker]:
+        if not self._pending_moves:
+            return None
+        for marker in self._pending_moves.values():
+            if scope_fields(packet.five_tuple.canonical(), marker.fields) in marker.scope_keys:
+                return marker
+        return None
+
+    def _query_loop(self) -> Generator:
+        """Serve framework queries addressed to this instance.
+
+        A recovering root queries downstream instances for the current flow
+        allocation (§5.4 "Root": "retrieves how to partition traffic by
+        querying downstream instances' flow allocation").
+        """
+        while self._alive:
+            request = yield self.client.endpoint.requests.get()
+            if request.payload == "allocation":
+                allocation = self.runtime.splitter(self.vertex_name).allocation()
+                self.client.endpoint.respond(request, allocation)
+            else:
+                self.client.endpoint.respond(
+                    request, RuntimeError("unknown instance query"), ok=False
+                )
+
+    # ------------------------------------------------------------------
+    # packet processing
+    # ------------------------------------------------------------------
+
+    def _process_packet(self, packet: Packet) -> Generator:
+        start = self.sim.now
+        if packet.clock in self._seen_clocks:
+            self.stats.duplicates_seen += 1
+        elif packet.clock:
+            self._seen_clocks.add(packet.clock)
+        api = CHCStateAPI(self.client, self.client.make_context(packet))
+        delay = self.proc_time_us
+        if self.extra_delay is not None:
+            delay += self.extra_delay()
+        yield self.sim.timeout(delay)
+        outputs = yield from self.nf.process(packet, api)
+        if not self._alive:
+            return
+        self.recorder.record(self.sim.now - start, timestamp=self.sim.now)
+        if packet.queued_at:
+            self.sojourn.record(self.sim.now - packet.queued_at, timestamp=self.sim.now)
+        self.throughput.add(packet.size_bits, self.sim.now)
+        self.stats.processed += 1
+        if packet.replay_target == self.instance_id:
+            # §5.3: "The clone's ID is cleared once it processed the packet"
+            # — downstream of the target the copy is ordinary traffic again,
+            # so queue-level duplicate suppression applies to it.
+            packet.replay_target = None
+            packet.replayed = False
+        was_replay_end = packet.replay_end
+        if not outputs:
+            self.stats.dropped += 1
+        yield from self.runtime.emit(self, packet, outputs or [])
+        if was_replay_end:
+            self.stop_buffering()
+
+    # ------------------------------------------------------------------
+    # handover protocol (Figure 4)
+    # ------------------------------------------------------------------
+
+    def _on_last_marker(self, marker: MoveMarker) -> Generator:
+        """Old-instance side: barrier across workers, then flush & release."""
+        count = self._barrier_counts.get(id(marker), 0) + 1
+        self._barrier_counts[id(marker)] = count
+        if count < self.n_workers:
+            return
+        del self._barrier_counts[id(marker)]
+        if marker.old_instance != self.instance_id:
+            return
+        yield from self._flush_and_release(marker)
+
+    def _flush_and_release(self, marker: MoveMarker) -> Generator:
+        """Figure 4 step 5: flush cached state, disassociate ownership.
+
+        Only *operations* are flushed (they were already streamed to the
+        store non-blocking; the barrier just waits for their ACKs) — no
+        state is serialised or copied, which is why CHC's move is ~35X
+        faster than OpenNF's (§7.3 R2). Per-key ownership release is
+        delegated to the runtime, which knows the moved keys.
+        """
+        yield self.client.ack_barrier()
+        yield from self.runtime.release_moved_state(self, marker)
+
+    def _ensure_moved_in(self, marker: MoveMarker) -> Generator:
+        """New-instance side: Figure 4 steps 3-4, 6-7.
+
+        The moved flow's worker blocks until ownership lands: checking the
+        store / registering the callback costs one RTT; the datastore's
+        handover notification releases the wait. Blocking the worker (all
+        of a flow's packets shard to one worker) *is* the buffering of
+        step 4 — packets queue behind this one in FIFO order, so updates
+        happen in upstream arrival order (step 8's guarantee).
+        """
+        if marker.move_id in self._completed_moves:
+            return
+        self._pending_moves[marker.move_id] = marker
+        available = yield from self.runtime.moved_state_available(self, marker)
+        if not available:
+            yield from self.runtime.wait_for_handover(self, marker)
+        self._completed_moves.add(marker.move_id)
+        self._pending_moves.pop(marker.move_id, None)
+
+    def __repr__(self) -> str:
+        return f"<NFInstance {self.instance_id} of {self.vertex_name}>"

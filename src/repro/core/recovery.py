@@ -1,0 +1,197 @@
+"""NF-instance and root failover (§5.4).
+
+NF failover: a replacement instance takes the failed instance's place —
+the datastore manager associates the replacement's ID with the relevant
+state (one metadata takeover, no state copy), the splitter swaps the
+routing slot, and the root replays all logged packets targeted at the
+replacement (bringing per-flow state up to speed with the in-transit
+packets the crash lost). Duplicate state updates and upstream processing
+are suppressed exactly as during cloning.
+
+Root failover: the new root reads the last persisted clock from the
+datastore, resumes the clock *past* the unpersisted window (footnote 5),
+queries downstream instances for the current flow allocation, and adopts
+the predecessor's input channel — packets that arrived while the root was
+down were buffered there and are processed first. A locally-logged packet
+log dies with the root: those in-flight packets are "dropped by the
+network" (Theorem B.3.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Generator, List, Optional
+
+from repro.core.clock import LogicalClock
+from repro.core.root import Root
+from repro.simnet.rpc import RpcEndpoint
+from repro.store.keys import StateKey
+from repro.store.protocol import ReadRequest, SnapshotRequest, TakeoverRequest
+
+
+def replay_all_roots(runtime, target_instance: str) -> Generator:
+    """Replay every root's packet log at ``target_instance`` (§5.3, §5.4).
+
+    With multiple roots, each holds the log for its traffic share; the
+    replay-end marker rides the last root that has anything to replay, so
+    the target's live-traffic buffer is released only after every replayed
+    packet has been processed. Returns the list of replayed clocks.
+    """
+    roots_with_logs = [root for root in runtime.roots if root.log]
+    replayed: List[int] = []
+    for index, root in enumerate(roots_with_logs):
+        is_last = index == len(roots_with_logs) - 1
+        replayed += yield from root.replay(target_instance, mark_end=is_last)
+    return replayed
+
+
+@dataclass
+class NFRecoveryResult:
+    failed_id: str
+    new_id: str
+    started_at: float
+    finished_at: float
+    replayed: int
+    state_keys_taken: int
+
+    @property
+    def duration_us(self) -> float:
+        return self.finished_at - self.started_at
+
+
+def fail_over_nf(runtime, failed_id: str, suffix: Optional[str] = None) -> Generator:
+    """Recover a crashed NF instance (process body; returns the result).
+
+    Assumes the failure was already detected (fail-stop model: detection is
+    immediate) and, per §7.3 R6, that the replacement container launches
+    immediately — what is measured is CHC's state recovery.
+    """
+    sim = runtime.sim
+    started_at = sim.now
+    failed = runtime.instance(failed_id)
+    if failed.alive:
+        raise RuntimeError(f"{failed_id} has not failed; refusing to fail over")
+    vertex = failed.vertex_name
+    suffix = suffix or f"{failed_id.split('-', 1)[1]}r"
+
+    replacement = runtime.add_instance(
+        vertex, suffix, start_buffering=True, join_splitter=False
+    )
+
+    # 1. Associate the failover instance's ID with the failed instance's
+    #    state (bulk metadata update at the vertex's store instance).
+    store_endpoint = runtime.store.endpoint_for_key(StateKey(vertex, "_").storage_key())
+    taken = yield replacement.client.endpoint.call_event(
+        store_endpoint,
+        TakeoverRequest(old_instance=failed_id, new_instance=replacement.instance_id),
+    )
+
+    # 2. Take over routing: same hash slot, so no flows remap.
+    runtime.splitter(vertex).replace_instance(failed_id, replacement.instance_id)
+    runtime.splitter(vertex).add_instance(replacement.instance_id)
+    runtime.vertex_instances[vertex] = [
+        replacement.instance_id if i == failed_id else i
+        for i in runtime.vertex_instances[vertex]
+    ]
+
+    # 3. Replay logged packets through the chain at the replacement.
+    replayed = yield from replay_all_roots(runtime, replacement.instance_id)
+    if not replayed:
+        replacement.stop_buffering()
+
+    return NFRecoveryResult(
+        failed_id=failed_id,
+        new_id=replacement.instance_id,
+        started_at=started_at,
+        finished_at=sim.now,
+        replayed=len(replayed),
+        state_keys_taken=taken,
+    )
+
+
+@dataclass
+class RootRecoveryResult:
+    new_root: Root
+    started_at: float
+    finished_at: float
+    resumed_sequence: int
+    allocations: int
+
+    @property
+    def duration_us(self) -> float:
+        return self.finished_at - self.started_at
+
+
+def fail_over_root(runtime, root: Optional[Root] = None) -> Generator:
+    """Recover a failed root (process body; returns the result).
+
+    Costs: one store RTT to read the persisted clock, plus one (parallel)
+    query round to downstream instances for the flow allocation — the §7.3
+    "< 41.2µs" path. ``root`` selects which root instance failed in a
+    multi-root deployment (defaults to the first).
+    """
+    sim = runtime.sim
+    old_root = root or runtime.root
+    if old_root.alive:
+        raise RuntimeError("root has not failed; refusing to fail over")
+    started_at = sim.now
+
+    bootstrap = RpcEndpoint(sim, runtime.network, f"{old_root.name}-recovery-{int(sim.now)}")
+    store_endpoint = old_root.store_endpoint or runtime.stores[0].name
+    read = yield bootstrap.call_event(
+        store_endpoint,
+        ReadRequest(key=Root.recovered_clock_key(old_root.root_id)),
+    )
+    persisted = read.value or 0
+    log_snapshot = {}
+    if old_root.log_in_store:
+        # the store-kept packet log survives the root (§7.2's trade-off)
+        log_snapshot = yield bootstrap.call_event(
+            store_endpoint,
+            SnapshotRequest(prefix=Root.log_key_prefix(old_root.root_id)),
+        )
+
+    # Query the entry vertex's instances for their flow allocation, in
+    # parallel (the recovering root must partition subsequent traffic the
+    # same way, §5.4 "Root").
+    entry_instances = runtime.instances_of(runtime.chain.entry)
+    queries = [
+        bootstrap.call_event(instance.instance_id, "allocation")
+        for instance in entry_instances
+        if instance.alive
+    ]
+    allocations = []
+    if queries:
+        allocations = yield sim.all_of(queries)
+    bootstrap.fail()
+
+    clock = LogicalClock.resume_from(
+        old_root.root_id, persisted, old_root.persist_every
+    )
+    new_root = Root(
+        sim,
+        runtime.network,
+        old_root.name,  # adopt the same address: commit signals keep flowing
+        forward=runtime._forward_from_root,
+        store_endpoint=old_root.store_endpoint,
+        root_id=old_root.root_id,
+        persist_every=old_root.persist_every,
+        log_in_store=old_root.log_in_store,
+        local_log_cost_us=old_root.local_log_cost_us,
+        log_threshold=old_root.log_threshold,
+        store_endpoints_for_prune=old_root.store_endpoints_for_prune,
+        clock=clock,
+        input_channel=old_root.input,
+    )
+    new_root.on_deleted.append(runtime._on_packet_deleted)
+    if log_snapshot:
+        new_root.restore_log(log_snapshot)
+    runtime.root = new_root  # the setter slots it by root_id
+
+    return RootRecoveryResult(
+        new_root=new_root,
+        started_at=started_at,
+        finished_at=sim.now,
+        resumed_sequence=clock.last_issued_sequence,
+        allocations=len(allocations),
+    )

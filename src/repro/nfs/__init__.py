@@ -1,0 +1,42 @@
+"""Network functions reimplemented atop CHC (§6, Table 4).
+
+The four NFs the paper evaluates:
+
+* :class:`~repro.nfs.nat.Nat` — dynamic NAT: shared free-port list,
+  per-connection port mapping, L3/L4 packet counters.
+* :class:`~repro.nfs.portscan.PortscanDetector` — TRW-style scan detector
+  (Schechter et al. [26]): per-host maliciousness likelihood, per-flow
+  pending-connection state.
+* :class:`~repro.nfs.trojan_detector.TrojanDetector` — the off-path
+  sequence detector of De Carli et al. [12]: per-host SSH→FTP→IRC
+  activity ordering, reasoned over logical clocks (R4).
+* :class:`~repro.nfs.load_balancer.LoadBalancer` — least-connections L4
+  balancer: per-server active connections and byte counters,
+  per-connection server binding.
+
+Plus the chain NFs the paper's scenarios use (Figures 1–2):
+firewall, scrubber, IDS, rate limiter, and DPI.
+"""
+
+from repro.nfs.dpi import Dpi
+from repro.nfs.firewall import Firewall, FirewallRule
+from repro.nfs.ids import Ids
+from repro.nfs.load_balancer import LoadBalancer
+from repro.nfs.nat import Nat
+from repro.nfs.portscan import PortscanDetector
+from repro.nfs.rate_limiter import RateLimiter
+from repro.nfs.scrubber import Scrubber
+from repro.nfs.trojan_detector import TrojanDetector
+
+__all__ = [
+    "Dpi",
+    "Firewall",
+    "FirewallRule",
+    "Ids",
+    "LoadBalancer",
+    "Nat",
+    "PortscanDetector",
+    "RateLimiter",
+    "Scrubber",
+    "TrojanDetector",
+]

@@ -1,0 +1,69 @@
+"""DPI engine (the §4.1 scope-partitioning example, Figure 1b).
+
+Carries exactly the two state objects the paper uses to explain
+scope-aware partitioning:
+
+* "records of whether a connection is successful or not" — scope is the
+  full 5-tuple (per-flow);
+* "the number of connections per host" — scope is src IP (cross-flow).
+
+So ``.scope()`` returns ``[5-tuple, (src_ip,)]``, finest first, and the
+framework first tries to split DPI traffic by src IP (no shared state at
+all), refining toward the 5-tuple only when load is uneven — the exact
+walk §4.1 describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Tuple
+
+from repro.core.nf_api import NetworkFunction, Output, StateAPI
+from repro.store.spec import AccessPattern, Scope, StateObjectSpec
+from repro.traffic.packet import Packet
+
+
+class Dpi(NetworkFunction):
+    """See module docstring."""
+
+    name = "dpi"
+
+    def __init__(self, conns_per_host_alert: int = 64):
+        self.conns_per_host_alert = conns_per_host_alert
+
+    def state_specs(self) -> Dict[str, StateObjectSpec]:
+        return {
+            "conn_success": StateObjectSpec(
+                "conn_success",
+                Scope.PER_FLOW,
+                AccessPattern.READ_WRITE_OFTEN,
+                initial_value=None,
+            ),
+            "conns_per_host": StateObjectSpec(
+                "conns_per_host",
+                Scope.CROSS_FLOW,
+                AccessPattern.READ_WRITE_OFTEN,
+                scope_fields=("src_ip",),
+                initial_value=0,
+            ),
+        }
+
+    @staticmethod
+    def flow_key(packet: Packet) -> Tuple:
+        return packet.five_tuple.canonical().key()
+
+    def process(self, packet: Packet, state: StateAPI) -> Generator:
+        outputs: List[Output] = []
+        if packet.is_syn:
+            count = yield from state.update(
+                "conns_per_host", (packet.five_tuple.src_ip,), "incr", 1,
+                need_result=True,
+            )
+            if count is not None and count >= self.conns_per_host_alert:
+                alert = packet.copy()
+                alert.payload = f"dpi-many-conns:{packet.five_tuple.src_ip}"
+                outputs.append(Output(alert, edge="alert"))
+        if packet.is_syn_ack:
+            yield from state.update("conn_success", self.flow_key(packet), "set", True)
+        elif packet.is_rst:
+            yield from state.update("conn_success", self.flow_key(packet), "set", False)
+        return outputs

@@ -1,0 +1,61 @@
+"""Signature-counting IDS (the Figure 1 chain's first stage).
+
+Keeps per-flow byte counts (per-flow state) and per-destination-port
+packet counters shared across instances (the cross-flow state §2.1 uses
+to motivate R3: "per port counts at the IDSes in Figure 1a"). Flows whose
+byte count crosses the threshold are steered to the ``suspicious`` edge —
+in the Figure 1 chain that edge is consumed by the off-path DPI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Tuple
+
+from repro.core.nf_api import NetworkFunction, Output, StateAPI
+from repro.store.spec import AccessPattern, Scope, StateObjectSpec
+from repro.traffic.packet import Packet
+
+DEFAULT_SUSPICIOUS_BYTES = 512 * 1024
+
+
+class Ids(NetworkFunction):
+    """See module docstring."""
+
+    name = "ids"
+
+    def __init__(self, suspicious_bytes: int = DEFAULT_SUSPICIOUS_BYTES):
+        self.suspicious_bytes = suspicious_bytes
+
+    def state_specs(self) -> Dict[str, StateObjectSpec]:
+        return {
+            "flow_bytes": StateObjectSpec(
+                "flow_bytes",
+                Scope.PER_FLOW,
+                AccessPattern.READ_WRITE_OFTEN,
+                initial_value=0,
+            ),
+            "port_packets": StateObjectSpec(
+                "port_packets",
+                Scope.CROSS_FLOW,
+                AccessPattern.WRITE_MOSTLY,
+                scope_fields=("dst_port",),
+                initial_value=0,
+            ),
+        }
+
+    @staticmethod
+    def flow_key(packet: Packet) -> Tuple:
+        return packet.five_tuple.canonical().key()
+
+    def process(self, packet: Packet, state: StateAPI) -> Generator:
+        yield from state.update(
+            "port_packets", (packet.five_tuple.dst_port,), "incr", 1
+        )
+        flow_bytes = yield from state.update(
+            "flow_bytes", self.flow_key(packet), "incr", packet.size_bytes,
+            need_result=True,
+        )
+        outputs = [Output(packet)]
+        if flow_bytes is not None and flow_bytes >= self.suspicious_bytes:
+            outputs.append(Output(packet.copy(), edge="suspicious"))
+        return outputs

@@ -1,0 +1,41 @@
+"""Traffic scrubber (Figure 2's middle stage).
+
+Normalises packets (the real De Carli pipeline scrubs protocol anomalies)
+and keeps a per-flow scrubbed-packet counter. Deliberately lightweight:
+its role in the R4 experiment is to *be slow* — resource contention at a
+scrubber instance delays one protocol's traffic and destroys the arrival
+order the downstream trojan detector needs. Slowness is injected by the
+experiment via the instance's ``extra_delay`` hook, not by the NF.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Tuple
+
+from repro.core.nf_api import NetworkFunction, Output, StateAPI
+from repro.store.spec import AccessPattern, Scope, StateObjectSpec
+from repro.traffic.packet import Packet
+
+
+class Scrubber(NetworkFunction):
+    """See module docstring."""
+
+    name = "scrubber"
+
+    def state_specs(self) -> Dict[str, StateObjectSpec]:
+        return {
+            "scrubbed": StateObjectSpec(
+                "scrubbed",
+                Scope.PER_FLOW,
+                AccessPattern.READ_WRITE_OFTEN,
+                initial_value=0,
+            ),
+        }
+
+    @staticmethod
+    def flow_key(packet: Packet) -> Tuple:
+        return packet.five_tuple.canonical().key()
+
+    def process(self, packet: Packet, state: StateAPI) -> Generator:
+        yield from state.update("scrubbed", self.flow_key(packet), "incr", 1)
+        return [Output(packet)]

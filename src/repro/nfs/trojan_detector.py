@@ -1,0 +1,95 @@
+"""Off-path trojan detector (§2.1, §6, after De Carli et al. [12]).
+
+Flags a host that performs, **in this order**: (1) open an SSH
+connection, (2) transfer files over FTP, (3) generate IRC activity. A
+different order does not indicate the trojan.
+
+Chain-wide ordering (R4) is exactly what this NF needs: it reasons about
+the *true arrival order at the network input*, which intervening NFs may
+have destroyed by the time the copy reaches it. With ``use_clocks=True``
+(CHC) the detector orders events by the packets' logical clocks — earliest
+activity per kind is a clock minimum, so late/reordered arrival does not
+change the verdict. With ``use_clocks=False`` (what any framework without
+chain-wide clocks can offer) it falls back to local arrival order and can
+both miss trojans and flag decoys, which is the §7.3 R4 result.
+
+State (Table 4): per-host arrival time of SSH, FTP and IRC activity —
+cross-flow, write/read often, updated via a custom offloaded operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Generator, List, Optional, Tuple
+
+from repro.core.nf_api import NetworkFunction, Output, StateAPI
+from repro.store.spec import AccessPattern, Scope, StateObjectSpec
+from repro.traffic.packet import PORT_FTP, PORT_IRC, PORT_SSH, Packet
+
+ACTIVITY_PORTS = {PORT_SSH: "ssh", PORT_FTP: "ftp", PORT_IRC: "irc"}
+
+
+class TrojanDetector(NetworkFunction):
+    """See module docstring."""
+
+    name = "trojan"
+
+    def __init__(self, use_clocks: bool = True):
+        self.use_clocks = use_clocks
+        self.detections: Dict[str, float] = {}  # host -> detection time
+        self._arrival_counter = 0
+
+    def state_specs(self) -> Dict[str, StateObjectSpec]:
+        return {
+            "host_activity": StateObjectSpec(
+                "host_activity",
+                Scope.CROSS_FLOW,
+                AccessPattern.READ_WRITE_OFTEN,
+                scope_fields=("src_ip",),
+                initial_value=None,
+            ),
+        }
+
+    def custom_operations(self):
+        def record_activity(value, activity, when):
+            """Keep the earliest observed time per activity kind."""
+            record = dict(value) if value else {}
+            if activity not in record or when < record[activity]:
+                record[activity] = when
+            return record, record
+
+        return {"record_activity": record_activity}
+
+    def _activity_of(self, packet: Packet) -> Optional[str]:
+        port = packet.five_tuple.dst_port
+        kind = ACTIVITY_PORTS.get(port)
+        if kind is None:
+            return None
+        # Activity is recorded at connection granularity (the signature is
+        # a sequence of *connections* [12]); per-packet recording would add
+        # a state op to every FTP/IRC data packet for no extra signal.
+        return kind if packet.is_syn else None
+
+    def process(self, packet: Packet, state: StateAPI) -> Generator:
+        self._arrival_counter += 1
+        activity = self._activity_of(packet)
+        if activity is None:
+            return []  # off-path: no forwarding, nothing to record
+
+        host = packet.five_tuple.src_ip
+        when = packet.clock if (self.use_clocks and packet.clock) else self._arrival_counter
+        record = yield from state.update(
+            "host_activity", (host,), "record_activity", activity, when, need_result=True
+        )
+        if record and self._matches_signature(record):
+            if host not in self.detections:
+                self.detections[host] = when
+                alert = packet.copy()
+                alert.payload = f"trojan:{host}"
+                return [Output(alert, edge="alert")]
+        return []
+
+    @staticmethod
+    def _matches_signature(record: Dict[str, float]) -> bool:
+        if not all(kind in record for kind in ("ssh", "ftp", "irc")):
+            return False
+        return record["ssh"] < record["ftp"] < record["irc"]

@@ -1,0 +1,123 @@
+"""Measurement helpers: latency recorders, throughput meters, percentiles.
+
+These produce the series the paper's figures plot: per-packet processing
+time percentiles (Figure 8), CDFs (Figures 11–12), time series of
+per-packet latency (Figures 9 and 13), and Gbps goodput (Figure 10).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+PERCENTILES_FIG8 = (5, 25, 50, 75, 95)
+
+
+def percentile(samples: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile of ``samples`` (linear interpolation)."""
+    if len(samples) == 0:
+        raise ValueError("no samples")
+    return float(np.percentile(np.asarray(samples, dtype=float), q))
+
+
+def percentiles(samples: Sequence[float], qs: Iterable[float] = PERCENTILES_FIG8) -> Dict[float, float]:
+    """Several percentiles at once, as a ``{q: value}`` dict."""
+    if len(samples) == 0:
+        raise ValueError("no samples")
+    array = np.asarray(samples, dtype=float)
+    return {float(q): float(np.percentile(array, q)) for q in qs}
+
+
+class LatencyRecorder:
+    """Collects (timestamp, value) latency samples.
+
+    ``record`` is called with the measured per-packet processing time; the
+    timestamp defaults to nothing (pure distribution) but experiments that
+    plot time series (Figures 9, 13) pass the simulation clock.
+    """
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.values: List[float] = []
+        self.timestamps: List[Optional[float]] = []
+
+    def record(self, value: float, timestamp: Optional[float] = None) -> None:
+        self.values.append(value)
+        self.timestamps.append(timestamp)
+
+    def __len__(self) -> int:
+        return len(self.values)
+
+    def percentile(self, q: float) -> float:
+        return percentile(self.values, q)
+
+    def summary(self, qs: Iterable[float] = PERCENTILES_FIG8) -> Dict[float, float]:
+        return percentiles(self.values, qs)
+
+    def median(self) -> float:
+        return self.percentile(50)
+
+    def mean(self) -> float:
+        if not self.values:
+            raise ValueError("no samples")
+        return float(np.mean(self.values))
+
+    def cdf(self, points: int = 200) -> List[Tuple[float, float]]:
+        """(value, cumulative fraction) pairs for CDF plots."""
+        if not self.values:
+            return []
+        ordered = np.sort(np.asarray(self.values, dtype=float))
+        n = len(ordered)
+        indices = np.unique(np.linspace(0, n - 1, min(points, n)).astype(int))
+        return [(float(ordered[i]), float((i + 1) / n)) for i in indices]
+
+    def windowed_mean(self, window_us: float) -> List[Tuple[float, float]]:
+        """Average latency per time window — Figure 13's 500µs windows."""
+        samples = [
+            (t, v) for t, v in zip(self.timestamps, self.values) if t is not None
+        ]
+        if not samples:
+            return []
+        samples.sort()
+        out: List[Tuple[float, float]] = []
+        start = samples[0][0]
+        bucket: List[float] = []
+        for t, v in samples:
+            while t >= start + window_us:
+                if bucket:
+                    out.append((start, float(np.mean(bucket))))
+                    bucket = []
+                start += window_us
+            bucket.append(v)
+        if bucket:
+            out.append((start, float(np.mean(bucket))))
+        return out
+
+
+class ThroughputMeter:
+    """Counts bits over simulated time, reporting Gbps goodput."""
+
+    def __init__(self, name: str = ""):
+        self.name = name
+        self.bits = 0
+        self.packets = 0
+        self.first_at: Optional[float] = None
+        self.last_at: Optional[float] = None
+
+    def add(self, size_bits: int, now: float) -> None:
+        if self.first_at is None:
+            self.first_at = now
+        self.last_at = now
+        self.bits += size_bits
+        self.packets += 1
+
+    def gbps(self, duration_us: Optional[float] = None) -> float:
+        """Goodput over ``duration_us`` (or first-to-last sample span)."""
+        if duration_us is None:
+            if self.first_at is None or self.last_at is None or self.last_at <= self.first_at:
+                return 0.0
+            duration_us = self.last_at - self.first_at
+        if duration_us <= 0:
+            return 0.0
+        return self.bits / duration_us / 1_000.0  # bits/µs -> Gbps

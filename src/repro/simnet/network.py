@@ -1,0 +1,137 @@
+"""Point-to-point links and a named-endpoint network fabric.
+
+The network does **not** guarantee ordering or delivery (the paper's §2.1:
+"The network today already reorders or drops packets"); links can be
+configured with latency jitter (which reorders) and a loss probability. The
+defaults are lossless, constant-latency links, which is what the evaluation
+testbed (a single rack) behaves like.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.simnet.engine import Channel, Simulator
+
+
+@dataclass
+class Link:
+    """One-way link properties between two endpoints.
+
+    ``latency_us`` is the one-way propagation delay; ``jitter_us`` adds a
+    uniform random extra delay in ``[0, jitter_us]`` (this is what reorders
+    packets); ``loss`` is an independent drop probability per message.
+    """
+
+    latency_us: float = 14.0
+    jitter_us: float = 0.0
+    loss: float = 0.0
+
+    def delay(self, rng: random.Random) -> Optional[float]:
+        """One sampled traversal delay, or ``None`` if the message is lost."""
+        if self.loss > 0 and rng.random() < self.loss:
+            return None
+        if self.jitter_us > 0:
+            return self.latency_us + rng.random() * self.jitter_us
+        return self.latency_us
+
+
+@dataclass
+class Envelope:
+    """A message in flight on the network."""
+
+    src: str
+    dst: str
+    payload: Any
+    sent_at: float = 0.0
+
+
+class Network:
+    """A fabric of named endpoints joined by configurable links.
+
+    Endpoints register an inbox (:class:`Channel`) or a delivery callback.
+    ``default_link`` is used for any pair without an explicit link, which
+    keeps experiment setup terse (one RTT constant for the whole testbed).
+    """
+
+    def __init__(self, sim: Simulator, default_link: Optional[Link] = None, seed: int = 0):
+        self.sim = sim
+        self.default_link = default_link or Link()
+        self._links: Dict[Tuple[str, str], Link] = {}
+        self._inboxes: Dict[str, Channel] = {}
+        self._callbacks: Dict[str, Callable[[Envelope], None]] = {}
+        self._down: set = set()
+        self.rng = random.Random(seed)
+        self.delivered = 0
+        self.dropped = 0
+
+    def register(self, name: str) -> Channel:
+        """Register ``name`` and return its inbox channel.
+
+        Re-registering a previously failed name clears its down flag (a
+        failover component may adopt its predecessor's address).
+        """
+        if name in self._inboxes or name in self._callbacks:
+            raise ValueError(f"endpoint {name!r} already registered")
+        inbox = Channel(self.sim, name=f"inbox({name})")
+        self._inboxes[name] = inbox
+        self._down.discard(name)
+        return inbox
+
+    def register_callback(self, name: str, callback: Callable[[Envelope], None]) -> None:
+        """Register ``name`` with a delivery callback instead of an inbox."""
+        if name in self._inboxes or name in self._callbacks:
+            raise ValueError(f"endpoint {name!r} already registered")
+        self._callbacks[name] = callback
+        self._down.discard(name)
+
+    def unregister(self, name: str) -> None:
+        self._inboxes.pop(name, None)
+        self._callbacks.pop(name, None)
+
+    def set_down(self, name: str, down: bool = True) -> None:
+        """Mark an endpoint down (fail-stop): messages to it are dropped."""
+        if down:
+            self._down.add(name)
+        else:
+            self._down.discard(name)
+
+    def is_down(self, name: str) -> bool:
+        return name in self._down
+
+    def connect(self, src: str, dst: str, link: Link, bidirectional: bool = True) -> None:
+        """Install an explicit link for the (src, dst) pair."""
+        self._links[(src, dst)] = link
+        if bidirectional:
+            self._links[(dst, src)] = link
+
+    def link_for(self, src: str, dst: str) -> Link:
+        return self._links.get((src, dst), self.default_link)
+
+    def send(self, src: str, dst: str, payload: Any) -> None:
+        """Send ``payload`` from ``src`` to ``dst`` over the appropriate link."""
+        link = self.link_for(src, dst)
+        delay = link.delay(self.rng)
+        if delay is None:
+            self.dropped += 1
+            return
+        envelope = Envelope(src=src, dst=dst, payload=payload, sent_at=self.sim.now)
+        self.sim.schedule(delay, self._deliver, envelope)
+
+    def _deliver(self, envelope: Envelope) -> None:
+        if envelope.dst in self._down:
+            self.dropped += 1
+            return
+        inbox = self._inboxes.get(envelope.dst)
+        if inbox is not None:
+            inbox.put(envelope)
+            self.delivered += 1
+            return
+        callback = self._callbacks.get(envelope.dst)
+        if callback is not None:
+            callback(envelope)
+            self.delivered += 1
+            return
+        self.dropped += 1  # no such endpoint (e.g. crashed and unregistered)

@@ -1,0 +1,73 @@
+"""Bandwidth-limited egress queue, modelling a NIC port.
+
+Throughput experiments (Figure 10) need a line-rate ceiling: a traditional
+NF is CPU/NIC bound near 9.5Gbps, while an NF blocked on per-packet store
+RTTs drains far below line rate. The :class:`Nic` serialises transmissions
+at a configured rate and exposes counters for goodput measurement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Optional
+
+from repro.simnet.engine import Channel, Simulator
+
+GBPS_TO_BITS_PER_US = 1_000.0  # 1 Gbps == 1000 bits per microsecond
+
+
+class Nic:
+    """A FIFO transmit queue drained at ``rate_gbps``.
+
+    ``deliver`` is invoked with each item once its serialisation delay has
+    elapsed. ``queue_limit`` (packets) models a finite ring: when exceeded,
+    new packets are dropped and counted (tail drop).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_gbps: float,
+        deliver: Callable[[Any], None],
+        name: str = "nic",
+        queue_limit: Optional[int] = None,
+        per_packet_overhead_bits: int = 0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.rate_bits_per_us = rate_gbps * GBPS_TO_BITS_PER_US
+        self.deliver = deliver
+        self.queue_limit = queue_limit
+        self.per_packet_overhead_bits = per_packet_overhead_bits
+        self._queue = Channel(sim, name=f"{name}-txq")
+        self.tx_packets = 0
+        self.tx_bits = 0
+        self.drops = 0
+        self._alive = True
+        sim.process(self._drain(), name=f"{name}-drain")
+
+    def fail(self) -> None:
+        self._alive = False
+        self._queue.clear()
+
+    def send(self, item: Any, size_bits: int) -> bool:
+        """Enqueue ``item`` for transmission; returns False on tail drop."""
+        if not self._alive:
+            return False
+        if self.queue_limit is not None and len(self._queue) >= self.queue_limit:
+            self.drops += 1
+            return False
+        self._queue.put((item, size_bits))
+        return True
+
+    def _drain(self):
+        while True:
+            item, size_bits = yield self._queue.get()
+            if not self._alive:
+                return
+            wire_bits = size_bits + self.per_packet_overhead_bits
+            yield self.sim.timeout(wire_bits / self.rate_bits_per_us)
+            if not self._alive:
+                return
+            self.tx_packets += 1
+            self.tx_bits += size_bits
+            self.deliver(item)

@@ -1,0 +1,157 @@
+"""Request/response messaging with timeout and retransmission.
+
+NF instances talk to the datastore over RPC. CHC's client-side library
+retransmits un-ACK'd state updates (§4.3, §6); that retransmission machinery
+lives here so both the store client and the framework reuse it.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, Optional
+
+from repro.simnet.engine import Channel, Event, Simulator
+from repro.simnet.network import Envelope, Network
+
+
+class RpcError(RuntimeError):
+    """Base class for RPC failures."""
+
+
+class RpcTimeout(RpcError):
+    """A call exhausted its retries without receiving a response."""
+
+
+@dataclass
+class RpcRequest:
+    """An incoming request as seen by a server."""
+
+    request_id: int
+    src: str
+    dst: str
+    payload: Any
+    received_at: float = 0.0
+
+
+@dataclass
+class _Wire:
+    """On-the-wire RPC frame."""
+
+    kind: str  # "request" | "response" | "oneway"
+    request_id: int
+    payload: Any
+    ok: bool = True
+
+
+class RpcEndpoint:
+    """A network endpoint speaking request/response and one-way messages.
+
+    Servers consume :attr:`requests` (a channel of :class:`RpcRequest`) and
+    answer with :meth:`respond`. Clients use :meth:`call` (a generator to be
+    driven with ``yield from``) or :meth:`call_event` for event-style use.
+    One-way messages land in :attr:`messages`.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(self, sim: Simulator, network: Network, name: str):
+        self.sim = sim
+        self.network = network
+        self.name = name
+        self.requests = Channel(sim, name=f"rpc-requests({name})")
+        self.messages = Channel(sim, name=f"rpc-messages({name})")
+        self._pending: Dict[int, Event] = {}
+        self._alive = True
+        network.register_callback(name, self._on_envelope)
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def fail(self) -> None:
+        """Fail-stop this endpoint: unregister, drop all pending calls."""
+        if not self._alive:
+            return
+        self._alive = False
+        self.network.set_down(self.name)
+        self.network.unregister(self.name)
+        self._pending.clear()
+
+    def _on_envelope(self, envelope: Envelope) -> None:
+        if not self._alive:
+            return
+        wire: _Wire = envelope.payload
+        if wire.kind == "request":
+            self.requests.put(
+                RpcRequest(
+                    request_id=wire.request_id,
+                    src=envelope.src,
+                    dst=self.name,
+                    payload=wire.payload,
+                    received_at=self.sim.now,
+                )
+            )
+        elif wire.kind == "response":
+            waiter = self._pending.pop(wire.request_id, None)
+            if waiter is not None and not waiter.triggered:
+                if wire.ok:
+                    waiter.succeed(wire.payload)
+                else:
+                    waiter.fail(RpcError(wire.payload))
+        elif wire.kind == "oneway":
+            # Unwrap the wire frame: consumers see the application payload.
+            envelope.payload = wire.payload
+            self.messages.put(envelope)
+
+    def send(self, dst: str, payload: Any) -> None:
+        """Fire a one-way message (no response expected)."""
+        self.network.send(self.name, dst, _Wire(kind="oneway", request_id=0, payload=payload))
+
+    def call_event(self, dst: str, payload: Any) -> Event:
+        """Issue a request; returns the event that fires with the response.
+
+        No timeout handling — callers that need retransmission use
+        :meth:`call`.
+        """
+        request_id = next(self._ids)
+        waiter = self.sim.event(name=f"rpc({self.name}->{dst}#{request_id})")
+        self._pending[request_id] = waiter
+        self.network.send(self.name, dst, _Wire(kind="request", request_id=request_id, payload=payload))
+        return waiter
+
+    def call(
+        self,
+        dst: str,
+        payload: Any,
+        timeout_us: Optional[float] = None,
+        max_retries: int = 0,
+    ) -> Generator:
+        """Generator: issue a request, retransmitting on timeout.
+
+        Use as ``value = yield from endpoint.call(...)``. Raises
+        :class:`RpcTimeout` after ``max_retries`` retransmissions time out.
+        """
+        attempts = max_retries + 1
+        for attempt in range(attempts):
+            waiter = self.call_event(dst, payload)
+            if timeout_us is None:
+                value = yield waiter
+                return value
+            timer = self.sim.timeout(timeout_us)
+            winner, value = yield self.sim.any_of([waiter, timer])
+            if winner is waiter:
+                return value
+            # timed out: forget the stale waiter and retransmit
+            for request_id, pending in list(self._pending.items()):
+                if pending is waiter:
+                    del self._pending[request_id]
+        raise RpcTimeout(f"{self.name} -> {dst}: no response after {attempts} attempts")
+
+    def respond(self, request: RpcRequest, value: Any, ok: bool = True) -> None:
+        """Answer ``request`` (server side)."""
+        self.network.send(
+            self.name,
+            request.src,
+            _Wire(kind="response", request_id=request.request_id, payload=value, ok=ok),
+        )

@@ -1,0 +1,582 @@
+"""The datastore client-side library NF instances link against (§4.3, §6).
+
+This is where Table 1's strategies live. For each state object (declared
+with a :class:`~repro.store.spec.StateObjectSpec`) the client selects:
+
+* ``NON_BLOCKING`` — write-mostly objects: offload the op, optionally
+  without even waiting for the ACK (the library retransmits un-ACK'd
+  operations; retransmission is idempotent because the store dedups on the
+  (key, clock, seq) identity).
+* ``PER_FLOW_CACHE`` — per-flow objects: apply locally on a cached copy
+  and flush the *operation* to the store with non-blocking semantics, so
+  the store stays current for fault tolerance at zero packet latency.
+* ``READ_HEAVY_CACHE`` — rarely-written shared objects: reads are local;
+  updates go to the store (blocking), which pushes the new value to every
+  other caching instance via callbacks handled here, not by NF code.
+* ``SPLIT_AWARE`` — often-written shared objects: cached exactly while the
+  upstream traffic split gives this instance exclusive access (the
+  framework toggles this, §4.3); otherwise every update is a blocking
+  store op.
+
+The client also maintains the instance's write-ahead log of shared-state
+operations and read snapshots (§5.4), issues per-packet operation sequence
+numbers for duplicate suppression, and XORs (vertex || object) tags into
+the packet's bit vector (Figure 6, step 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.simnet.engine import Channel, Event, Simulator
+from repro.simnet.network import Network
+from repro.simnet.rpc import RpcEndpoint
+from repro.store.cluster import StoreCluster
+from repro.store.keys import StateKey
+from repro.store.operations import OperationRegistry, default_registry
+from repro.store.protocol import (
+    BulkOwnerMove,
+    CallbackMessage,
+    NonDetRequest,
+    OpRequest,
+    OpResult,
+    OwnerRequest,
+    ReadRequest,
+    ReadResult,
+    WatchRequest,
+    WriteRequest,
+)
+from repro.store.spec import CacheStrategy, Scope, StateObjectSpec
+from repro.store.wal import WriteAheadLog
+from repro.traffic.packet import Packet
+
+
+@dataclass
+class PacketContext:
+    """Per-packet state-access context.
+
+    NF instances process packets on several worker threads concurrently;
+    each in-flight packet carries its own context (clock for duplicate
+    suppression, per-key op sequence numbers, the bit vector) so contexts
+    never interleave across workers.
+    """
+
+    packet: Optional[Packet] = None
+    clock: int = 0
+    op_seq: Dict[str, int] = field(default_factory=dict)
+
+    def next_seq(self, storage_key: str) -> int:
+        seq = self.op_seq.get(storage_key, 0)
+        self.op_seq[storage_key] = seq + 1
+        return seq
+
+
+@dataclass
+class ClientStats:
+    blocking_ops: int = 0
+    nonblocking_ops: int = 0
+    local_ops: int = 0
+    store_reads: int = 0
+    cached_reads: int = 0
+    callbacks_received: int = 0
+    retransmissions: int = 0
+
+
+class StoreClient:
+    """Per-NF-instance state access layer. See module docstring."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        cluster: StoreCluster,
+        vertex_id: str,
+        instance_id: str,
+        specs: Dict[str, StateObjectSpec],
+        vector_tags: Optional[Dict[str, int]] = None,
+        wait_for_acks: bool = True,
+        caching_enabled: bool = True,
+        retransmit_timeout_us: Optional[float] = None,
+        registry: Optional[OperationRegistry] = None,
+    ):
+        self.sim = sim
+        self.cluster = cluster
+        self.vertex_id = vertex_id
+        self.instance_id = instance_id
+        self.specs = specs
+        self.vector_tags = vector_tags or {}
+        self.wait_for_acks = wait_for_acks
+        self.caching_enabled = caching_enabled
+        self.retransmit_timeout_us = retransmit_timeout_us
+        self.registry = registry or default_registry()
+        self.endpoint = RpcEndpoint(sim, network, instance_id)
+        self.wal = WriteAheadLog(instance_id)
+        self.stats = ClientStats()
+
+        self._cache: Dict[str, Any] = {}          # per-flow + split-aware values
+        self._readheavy_cache: Dict[str, Any] = {}
+        self._watched: Set[str] = set()
+        self._owned: Dict[str, Tuple[str, Optional[Tuple]]] = {}
+        self._exclusive: Dict[str, bool] = {}     # obj name -> split allows caching
+        self._owner_waiters: Dict[str, List[Event]] = {}
+        self._pending_acks: Dict[int, Event] = {}
+        self._ack_seq = 0
+
+        # default packet context (single-threaded callers / tests); worker
+        # threads pass an explicit context instead
+        self._default_ctx = PacketContext()
+
+        self._alive = True
+        self._callback_proc = sim.process(self._callback_loop(), name=f"{instance_id}-callbacks")
+
+    # ------------------------------------------------------------------
+    # lifecycle / packet context
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def fail(self) -> None:
+        """Fail-stop with the owning NF instance; all cached state is lost.
+
+        The WAL survives (it models a local disk / persistent log, which is
+        what datastore recovery reads, §5.4).
+        """
+        if not self._alive:
+            return
+        self._alive = False
+        self._callback_proc.kill()
+        self.endpoint.fail()
+        self._cache.clear()
+        self._readheavy_cache.clear()
+
+    def make_context(self, packet: Optional[Packet]) -> PacketContext:
+        """A fresh per-packet context (clock, op sequence numbers)."""
+        return PacketContext(
+            packet=packet, clock=packet.clock if packet is not None else 0
+        )
+
+    def begin_packet(self, packet: Optional[Packet]) -> None:
+        """Set the *default* packet context (single-threaded use only)."""
+        self._default_ctx = self.make_context(packet)
+
+    def _key(self, obj_name: str, flow_key: Optional[Tuple]) -> Tuple[StateKey, str]:
+        state_key = StateKey(vertex_id=self.vertex_id, obj_name=obj_name, flow_key=flow_key)
+        return state_key, state_key.storage_key()
+
+    def _spec(self, obj_name: str) -> StateObjectSpec:
+        spec = self.specs.get(obj_name)
+        if spec is None:
+            raise KeyError(f"{self.instance_id}: undeclared state object {obj_name!r}")
+        return spec
+
+    def _dst(self, storage_key: str) -> str:
+        return self.cluster.endpoint_for_key(storage_key)
+
+    # ------------------------------------------------------------------
+    # update path
+    # ------------------------------------------------------------------
+
+    def update(
+        self,
+        obj_name: str,
+        flow_key: Optional[Tuple],
+        op: str,
+        *args: Any,
+        need_result: bool = False,
+        ctx: Optional[PacketContext] = None,
+    ) -> Generator:
+        """Issue a state update per the object's Table 1 strategy.
+
+        Generator — drive with ``yield from``. ``need_result=True`` states
+        that the NF consumes the operation's return value (e.g. the NAT
+        popping a free port); the client then picks the cheapest mechanism
+        that can deliver it (a local cached apply, else a blocking op).
+        With ``caching_enabled=False`` (the paper's "EO" model) every
+        update is offloaded: non-blocking unless a result is needed.
+        """
+        ctx = ctx or self._default_ctx
+        spec = self._spec(obj_name)
+        _state_key, storage_key = self._key(obj_name, flow_key)
+        strategy = spec.strategy()
+        if not self.caching_enabled:
+            strategy = None  # force store-side execution below
+        seq = ctx.next_seq(storage_key)
+        tag = self.vector_tags.get(obj_name, 0)
+        if ctx.packet is not None and tag:
+            ctx.packet.bitvector ^= tag  # Figure 6 step 1
+        if spec.scope is Scope.CROSS_FLOW:
+            self.wal.log_update(ctx.clock, storage_key, op, args, seq=seq, at=self.sim.now)
+
+        request = OpRequest(
+            key=storage_key,
+            op=op,
+            args=args,
+            instance=self.instance_id,
+            clock=ctx.clock,
+            seq=seq,
+            vector_tag=tag,
+            log_update=ctx.clock > 0,
+        )
+
+        if strategy is None:
+            if need_result:
+                request.blocking = True
+                result = yield self.endpoint.call_event(self._dst(storage_key), request)
+                self.stats.blocking_ops += 1
+                return result.value
+            return (yield from self._nonblocking(request))
+
+        if strategy is CacheStrategy.NON_BLOCKING:
+            if need_result:
+                request.blocking = True
+                result = yield self.endpoint.call_event(self._dst(storage_key), request)
+                self.stats.blocking_ops += 1
+                return result.value
+            return (yield from self._nonblocking(request))
+
+        if strategy is CacheStrategy.PER_FLOW_CACHE:
+            if storage_key not in self._owned:
+                # Ownership is claimed by the key metadata on the first
+                # flushed write — no extra round trip (§4.3).
+                request.claim_owner = True
+                self._owned[storage_key] = (obj_name, flow_key)
+            return (yield from self._local_apply_and_flush(request, spec))
+
+        if strategy is CacheStrategy.READ_HEAVY_CACHE:
+            # Rare update: blocking; store returns the updated object and
+            # pushes callbacks to the other caching instances.
+            request.blocking = True
+            result: OpResult = yield self.endpoint.call_event(self._dst(storage_key), request)
+            self.stats.blocking_ops += 1
+            if storage_key in self._readheavy_cache or storage_key in self._watched:
+                self._readheavy_cache[storage_key] = result.value
+            return result.value
+
+        # SPLIT_AWARE
+        if self._exclusive.get(obj_name, False):
+            return (yield from self._local_apply_and_flush(request, spec))
+        request.blocking = True
+        result = yield self.endpoint.call_event(self._dst(storage_key), request)
+        self.stats.blocking_ops += 1
+        return result.value
+
+    def _nonblocking(self, request: OpRequest) -> Generator:
+        request.blocking = False
+        ack = self.endpoint.call_event(self._dst(request.key), request)
+        self.stats.nonblocking_ops += 1
+        if self.wait_for_acks:
+            yield ack
+            return None
+        self._track_ack(request, ack)
+        return None
+        yield  # pragma: no cover - keeps this a generator on all paths
+
+    # Operations that fully overwrite the value need no current state, so a
+    # cold cache can apply them locally without first consulting the store.
+    _OVERWRITE_OPS = frozenset({"set"})
+
+    def _local_apply_and_flush(self, request: OpRequest, spec: StateObjectSpec) -> Generator:
+        """Cached update: apply locally, flush the *operation* (non-blocking).
+
+        A *cold* cache (first touch after instance creation, failover or a
+        handover) must not apply against ``initial_value`` — the store may
+        hold live state (e.g. the NAT's remaining free ports). In that case
+        the op runs blocking at the store, which returns the updated object
+        to seed the cache (§4.3); everything after is local.
+        """
+        if request.key not in self._cache and request.op not in self._OVERWRITE_OPS:
+            request.blocking = True
+            request.return_state = True
+            result: OpResult = yield self.endpoint.call_event(
+                self._dst(request.key), request
+            )
+            self.stats.blocking_ops += 1
+            if result.state is not None or result.emulated:
+                if result.state is not None:
+                    self._cache[request.key] = result.state
+                return result.value
+            # rejected (not the owner): don't poison the cache
+            return result.value
+        current = self._cache.get(request.key, spec.initial_value)
+        new_value, return_value = self.registry.apply(request.op, current, request.args)
+        self._cache[request.key] = new_value
+        self.stats.local_ops += 1
+        # Flushes are non-blocking by design (Table 1): they never stall the
+        # packet path; the ACK is tracked so ack_barrier() can fence them.
+        request.blocking = False
+        ack = self.endpoint.call_event(self._dst(request.key), request)
+        self._track_ack(request, ack)
+        return return_value
+        yield  # pragma: no cover - generator protocol
+
+    def _track_ack(self, request: OpRequest, ack: Event) -> None:
+        self._ack_seq += 1
+        ack_id = self._ack_seq
+        self._pending_acks[ack_id] = (ack, request)
+        ack.add_callback(lambda _event: self._pending_acks.pop(ack_id, None))
+        if self.retransmit_timeout_us is not None:
+            self.sim.schedule(self.retransmit_timeout_us, self._maybe_retransmit, ack_id, request, 0)
+
+    def _maybe_retransmit(self, ack_id: int, request: OpRequest, attempt: int) -> None:
+        if not self._alive or ack_id not in self._pending_acks or attempt >= 5:
+            return
+        if not (request.log_update and request.clock):
+            # Only packet-induced ops are retransmitted: their (key, clock,
+            # seq) identity makes retransmission idempotent at the store.
+            return
+        self._pending_acks.pop(ack_id, None)
+        ack = self.endpoint.call_event(self._dst(request.key), request)
+        self.stats.retransmissions += 1
+        self._track_ack(request, ack)
+
+    def ack_barrier(self) -> Event:
+        """An event that fires once every outstanding un-ACK'd op is ACK'd.
+
+        Used by the handover protocol's flush step (Figure 4 step 5): only
+        *operations* are flushed, never state — which is why CHC's move is
+        so much cheaper than OpenNF's (§7.3 R2).
+        """
+        pending = [
+            event for event, _request in self._pending_acks.values() if not event.triggered
+        ]
+        return self.sim.all_of(pending)
+
+    # ------------------------------------------------------------------
+    # read path
+    # ------------------------------------------------------------------
+
+    def read(
+        self,
+        obj_name: str,
+        flow_key: Optional[Tuple],
+        ctx: Optional[PacketContext] = None,
+    ) -> Generator:
+        """Read a state object per its strategy (generator, ``yield from``)."""
+        ctx = ctx or self._default_ctx
+        spec = self._spec(obj_name)
+        _state_key, storage_key = self._key(obj_name, flow_key)
+        strategy = spec.strategy()
+        if not self.caching_enabled:
+            result = yield from self._store_read(storage_key, spec, ctx)
+            return result.value if result.value is not None else spec.initial_value
+
+        if strategy is CacheStrategy.PER_FLOW_CACHE:
+            if storage_key in self._cache:
+                self.stats.cached_reads += 1
+                return self._cache[storage_key]
+            result = yield from self._store_read(storage_key, spec, ctx)
+            value = result.value if result.value is not None else spec.initial_value
+            self._cache[storage_key] = value
+            return value
+
+        if strategy is CacheStrategy.READ_HEAVY_CACHE:
+            if storage_key in self._readheavy_cache:
+                self.stats.cached_reads += 1
+                return self._readheavy_cache[storage_key]
+            yield self.endpoint.call_event(
+                self._dst(storage_key),
+                WatchRequest(key=storage_key, endpoint=self.instance_id, kind="value"),
+            )
+            self._watched.add(storage_key)
+            result = yield from self._store_read(storage_key, spec, ctx)
+            value = result.value if result.value is not None else spec.initial_value
+            self._readheavy_cache[storage_key] = value
+            return value
+
+        if strategy is CacheStrategy.SPLIT_AWARE and self._exclusive.get(obj_name, False):
+            if storage_key in self._cache:
+                self.stats.cached_reads += 1
+                return self._cache[storage_key]
+            result = yield from self._store_read(storage_key, spec, ctx)
+            value = result.value if result.value is not None else spec.initial_value
+            self._cache[storage_key] = value
+            return value
+
+        # NON_BLOCKING objects and non-exclusive SPLIT_AWARE: read through.
+        result = yield from self._store_read(storage_key, spec, ctx)
+        return result.value if result.value is not None else spec.initial_value
+
+    def _store_read(
+        self,
+        storage_key: str,
+        spec: StateObjectSpec,
+        ctx: Optional[PacketContext] = None,
+    ) -> Generator:
+        ctx = ctx or self._default_ctx
+        result: ReadResult = yield self.endpoint.call_event(
+            self._dst(storage_key), ReadRequest(key=storage_key, instance=self.instance_id)
+        )
+        self.stats.store_reads += 1
+        if spec.scope is Scope.CROSS_FLOW:
+            self.wal.log_read(ctx.clock, storage_key, result.value, result.ts, at=self.sim.now)
+        return result
+
+    # ------------------------------------------------------------------
+    # ownership / handover primitives (Figure 4)
+    # ------------------------------------------------------------------
+
+    def _ensure_owned(
+        self, storage_key: str, obj_name: str = "", flow_key: Optional[Tuple] = None
+    ) -> Generator:
+        """Associate this instance with a per-flow object on first touch."""
+        if storage_key in self._owned:
+            return
+        yield self.endpoint.call_event(
+            self._dst(storage_key),
+            OwnerRequest(key=storage_key, instance=self.instance_id, action="associate"),
+        )
+        self._owned[storage_key] = (obj_name, flow_key)
+
+    def get_owner(self, obj_name: str, flow_key: Optional[Tuple]) -> Generator:
+        _sk, storage_key = self._key(obj_name, flow_key)
+        owner = yield self.endpoint.call_event(
+            self._dst(storage_key), OwnerRequest(key=storage_key, action="get")
+        )
+        return owner
+
+    def associate(self, obj_name: str, flow_key: Optional[Tuple]) -> Generator:
+        _sk, storage_key = self._key(obj_name, flow_key)
+        yield from self._ensure_owned(storage_key, obj_name, flow_key)
+
+    def disassociate(self, obj_name: str, flow_key: Optional[Tuple]) -> Generator:
+        """Flush the cached value, then release ownership (Figure 4 step 5)."""
+        _sk, storage_key = self._key(obj_name, flow_key)
+        if storage_key in self._cache:
+            yield self.endpoint.call_event(
+                self._dst(storage_key),
+                WriteRequest(key=storage_key, value=self._cache.pop(storage_key),
+                             instance=self.instance_id),
+            )
+        yield self.endpoint.call_event(
+            self._dst(storage_key),
+            OwnerRequest(key=storage_key, instance=self.instance_id, action="disassociate"),
+        )
+        self._owned.pop(storage_key, None)
+
+    def watch_owner(self, obj_name: str, flow_key: Optional[Tuple]) -> Generator:
+        """Register for ownership-change callbacks on a per-flow object."""
+        _sk, storage_key = self._key(obj_name, flow_key)
+        yield self.endpoint.call_event(
+            self._dst(storage_key),
+            WatchRequest(key=storage_key, endpoint=self.instance_id, kind="owner"),
+        )
+
+    def on_owner_released(self, obj_name: str, flow_key: Optional[Tuple]) -> Event:
+        """Event fired when the object's owner becomes vacant (step 6)."""
+        _sk, storage_key = self._key(obj_name, flow_key)
+        event = self.sim.event(name=f"owner-released({storage_key})")
+        self._owner_waiters.setdefault(storage_key, []).append(event)
+        return event
+
+    def owned_items(self) -> Dict[str, Tuple[str, Optional[Tuple]]]:
+        """storage_key -> (object name, flow key) for owned per-flow state."""
+        return dict(self._owned)
+
+    def release_keys_bulk(
+        self, storage_keys: List[str], new_instance: str, notify_key: str
+    ) -> Generator:
+        """Hand a group of per-flow keys to ``new_instance`` in ONE store
+        message (Figure 4 step 5 + §7.3 R2's cheap move). Drops local
+        cached copies; cached *operations* were already flushed (the
+        caller holds the ack barrier)."""
+        if not storage_keys:
+            return 0
+        by_store: Dict[str, List[str]] = {}
+        for key in storage_keys:
+            by_store.setdefault(self._dst(key), []).append(key)
+            self._cache.pop(key, None)
+            self._owned.pop(key, None)
+        moved = 0
+        for dst, keys in sorted(by_store.items()):
+            moved += yield self.endpoint.call_event(
+                dst,
+                BulkOwnerMove(
+                    keys=tuple(keys),
+                    old_instance=self.instance_id,
+                    new_instance=new_instance,
+                    notify_key=notify_key,
+                ),
+            )
+        return moved
+
+    # ------------------------------------------------------------------
+    # split-aware cache control (§4.3 "Cross-flow state")
+    # ------------------------------------------------------------------
+
+    def set_exclusive(self, obj_name: str, exclusive: bool) -> Generator:
+        """Framework notification that the traffic split (no longer) gives
+        this instance exclusive access to ``obj_name``.
+
+        Turning exclusivity *off* flushes: outstanding op ACKs are awaited
+        and local copies dropped, so other instances see current state.
+        """
+        was = self._exclusive.get(obj_name, False)
+        self._exclusive[obj_name] = exclusive
+        if was and not exclusive:
+            yield self.ack_barrier()
+            prefix = StateKey(self.vertex_id, obj_name).object_id()
+            for key in [k for k in self._cache if k.startswith(prefix)]:
+                del self._cache[key]
+        return None
+
+    # ------------------------------------------------------------------
+    # non-determinism (Appendix A)
+    # ------------------------------------------------------------------
+
+    def nondet(
+        self, purpose: str, kind: str = "random", ctx: Optional[PacketContext] = None
+    ) -> Generator:
+        """Store-computed non-deterministic value for the current packet."""
+        ctx = ctx or self._default_ctx
+        _sk, storage_key = self._key("__nondet__", None)
+        value = yield self.endpoint.call_event(
+            self._dst(storage_key),
+            NonDetRequest(clock=ctx.clock, purpose=purpose, kind=kind),
+        )
+        return value
+
+    # ------------------------------------------------------------------
+    # recovery support
+    # ------------------------------------------------------------------
+
+    def per_flow_snapshot(self) -> Dict[str, Any]:
+        """Current cached per-flow values (read by store recovery, §5.4)."""
+        return dict(self._cache)
+
+    def drop_pending_flushes(self, storage_keys) -> int:
+        """Cancel retransmission of un-ACK'd ops on the given keys.
+
+        Store recovery restores these keys from this client's cache, which
+        already reflects every flushed-but-unacknowledged operation —
+        retransmitting them afterwards would double-apply.
+        """
+        keys = set(storage_keys)
+        dropped = 0
+        for ack_id, (_event, request) in list(self._pending_acks.items()):
+            if request.key in keys:
+                del self._pending_acks[ack_id]
+                dropped += 1
+        return dropped
+
+    # ------------------------------------------------------------------
+    # callback handling
+    # ------------------------------------------------------------------
+
+    def _callback_loop(self):
+        while self._alive:
+            envelope = yield self.endpoint.messages.get()
+            message = envelope.payload
+            if not isinstance(message, CallbackMessage):
+                continue
+            self.stats.callbacks_received += 1
+            if message.kind == "value":
+                if message.key in self._readheavy_cache or message.key in self._watched:
+                    self._readheavy_cache[message.key] = message.value
+            elif message.kind == "owner" and message.owner is None:
+                waiters = self._owner_waiters.pop(message.key, [])
+                for event in waiters:
+                    if not event.triggered:
+                        event.succeed(message.key)

@@ -1,0 +1,73 @@
+"""Multiple datastore instances (§4.3 "For scale and fault tolerance").
+
+Each store instance handles state for a subset of NF vertices; each state
+object lives on exactly one store node, so no cross-node coordination is
+ever needed. Vertices are assigned explicitly (or fall back to a stable
+hash), and a failed instance can be replaced while the cluster keeps the
+same routing.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.store.datastore import DatastoreInstance
+from repro.store.keys import parse_storage_key
+from repro.store.operations import OperationFn
+
+
+class StoreCluster:
+    """Routes state keys to store instances by vertex assignment."""
+
+    def __init__(self, instances: List[DatastoreInstance]):
+        if not instances:
+            raise ValueError("a cluster needs at least one store instance")
+        self._instances: Dict[str, DatastoreInstance] = {i.name: i for i in instances}
+        self._order: List[str] = [i.name for i in instances]
+        self._vertex_assignment: Dict[str, str] = {}
+
+    @property
+    def instances(self) -> List[DatastoreInstance]:
+        return [self._instances[name] for name in self._order]
+
+    def assign_vertex(self, vertex_id: str, store_name: str) -> None:
+        """Pin all of a vertex's state to one store instance."""
+        if store_name not in self._instances:
+            raise KeyError(f"unknown store instance {store_name!r}")
+        self._vertex_assignment[vertex_id] = store_name
+
+    def endpoint_for_key(self, storage_key: str) -> str:
+        """Name of the store instance holding ``storage_key``."""
+        try:
+            vertex, _obj, _flow = parse_storage_key(storage_key)
+        except ValueError:
+            vertex = storage_key  # bare keys hash as their own "vertex"
+        assigned = self._vertex_assignment.get(vertex)
+        if assigned is not None:
+            return assigned
+        # Stable hash fallback: deterministic across runs (no PYTHONHASHSEED
+        # dependence) by hashing the vertex name's bytes.
+        digest = sum(vertex.encode()) % len(self._order)
+        return self._order[digest]
+
+    def instance_for_key(self, storage_key: str) -> DatastoreInstance:
+        return self._instances[self.endpoint_for_key(storage_key)]
+
+    def instance_named(self, name: str) -> DatastoreInstance:
+        return self._instances[name]
+
+    def replace_instance(self, old_name: str, replacement: DatastoreInstance) -> None:
+        """Swap a failed instance for its recovery replacement in routing."""
+        if old_name not in self._instances:
+            raise KeyError(f"unknown store instance {old_name!r}")
+        del self._instances[old_name]
+        self._instances[replacement.name] = replacement
+        self._order = [replacement.name if n == old_name else n for n in self._order]
+        for vertex, store in list(self._vertex_assignment.items()):
+            if store == old_name:
+                self._vertex_assignment[vertex] = replacement.name
+
+    def register_custom_op(self, name: str, fn: OperationFn) -> None:
+        """Load a developer-supplied operation on every store instance."""
+        for instance in self._instances.values():
+            instance.registry.register(name, fn, allow_replace=True)

@@ -1,0 +1,554 @@
+"""A datastore instance: sharded, multi-threaded, lock-free key-value store.
+
+Design points from the paper (§4.3, §5.3, §5.4):
+
+* Each instance runs several threads; **each state object is handled by a
+  single thread** (keys hash onto threads) so no locking is needed.
+* NFs offload *operations*; the store serializes ops from different
+  instances of a vertex and applies them in the background (non-blocking)
+  or synchronously (blocking).
+* For every packet-induced update the store logs the resulting value keyed
+  by the packet's logical clock; a replayed update with an already-applied
+  clock is **emulated** — the logged value is returned without re-applying
+  (Figure 5b). Logs are pruned when the root deletes the packet.
+* On committing an update the store signals the root with the packet clock
+  and the (instance ID || object ID) tag, feeding the XOR bit-vector
+  delete protocol (Figure 6, step 2).
+* The store checkpoints state periodically together with ``TS`` — the last
+  executed clock per NF instance — enabling Figure 7 recovery.
+* Appendix A: non-deterministic values are computed (and remembered) by
+  the store, keyed by packet clock, so replay observes identical values.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+from repro.simnet.engine import Channel, Process, Simulator
+from repro.util import stable_hash
+from repro.simnet.network import Network
+from repro.simnet.rpc import RpcEndpoint, RpcRequest
+from repro.store.operations import OperationRegistry, default_registry
+from repro.store.protocol import (
+    BulkOwnerMove,
+    CloneRegistration,
+    LockReadRequest,
+    CallbackMessage,
+    CheckpointControl,
+    CommitSignal,
+    NonDetRequest,
+    OpRequest,
+    OpResult,
+    OwnerRequest,
+    PruneRequest,
+    ReadRequest,
+    ReadResult,
+    SnapshotRequest,
+    TakeoverRequest,
+    UnwatchRequest,
+    WatchRequest,
+    WriteRequest,
+    WriteUnlockRequest,
+)
+
+DEFAULT_OP_SERVICE_US = 0.196  # ~5.1M ops/s per thread (§7.1 datastore bench)
+
+# Logical clocks carry the issuing root's instance ID in their high bits
+# (§5: "we encode the identifier of the root instance into the higher order
+# bits"), which is how the store routes commit signals and how the
+# framework delivers delete requests to the right root.
+_ROOT_ID_SHIFT = 56
+
+
+def _clock_root_id(clock: int) -> int:
+    return clock >> _ROOT_ID_SHIFT
+
+
+@dataclass
+class Checkpoint:
+    """A point-in-time snapshot with TS metadata (§5.4).
+
+    ``ts`` maps key -> {instance -> clock of that instance's last executed
+    update on the key at checkpoint time}.
+    """
+
+    taken_at: float
+    data: Dict[str, Any]
+    ts: Dict[str, Dict[str, int]]
+
+
+@dataclass
+class StoreStats:
+    ops_applied: int = 0
+    ops_emulated: int = 0
+    reads: int = 0
+    writes: int = 0
+    rejected: int = 0
+    callbacks_sent: int = 0
+    commit_signals: int = 0
+
+
+class DatastoreInstance:
+    """One store node. See module docstring for the design."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Network,
+        name: str,
+        n_threads: int = 4,
+        op_service_us: float = DEFAULT_OP_SERVICE_US,
+        registry: Optional[OperationRegistry] = None,
+        root_endpoint: Optional[str] = None,
+        checkpoint_interval_us: Optional[float] = None,
+        dedup_enabled: bool = True,
+        mirror: Optional[str] = None,
+        sync_replication: bool = False,
+        seed: int = 0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.n_threads = n_threads
+        self.op_service_us = op_service_us
+        self.per_key_metadata_us = 0.02  # bulk ownership moves (§7.3 R2)
+        self.registry = registry or default_registry()
+        self.root_endpoint = root_endpoint
+        self.checkpoint_interval_us = checkpoint_interval_us
+        # Duplicate-update suppression (§5.3). Disabling it reproduces what
+        # frameworks without CHC's clock-keyed update log do — the Table 5
+        # experiment's "without suppression" arm.
+        self.dedup_enabled = dedup_enabled
+        # §5.4 "Correlated failures": "Replication of store instances can
+        # help recover from such correlated failures, but that comes at the
+        # cost of increasing the per packet processing latency." When a
+        # mirror is configured, every state-changing request is forwarded
+        # to it; synchronous replication withholds the reply until the
+        # mirror acknowledges (the latency cost the paper mentions).
+        self.mirror = mirror
+        self.sync_replication = sync_replication
+
+        self.endpoint = RpcEndpoint(sim, network, name)
+        self._data: Dict[str, Any] = {}
+        self._owners: Dict[str, Optional[str]] = {}
+        self._clones: Dict[str, str] = {}  # original instance -> active clone
+        self._lock_holders: Dict[str, str] = {}
+        self._lock_waiters: Dict[str, List] = {}
+        self._value_watchers: Dict[str, Set[str]] = {}
+        self._owner_watchers: Dict[str, Set[str]] = {}
+        # (key, clock) -> {op seq -> committed value} for that packet
+        self._update_log: Dict[Tuple[str, int], Dict[int, Any]] = {}
+        # per-key TS metadata: key -> {instance -> clock of last executed
+        # op}. The paper's TS is global per store instance (Figure 7 has a
+        # single shared object, where the two coincide); per-key TS is the
+        # strictly more precise refinement that makes recovery correct when
+        # one store instance holds many objects.
+        self._ts: Dict[str, Dict[str, int]] = {}
+        self._nondet: Dict[Tuple[int, str], Any] = {}
+        self._nondet_rng = random.Random(seed ^ 0x5EED)
+        self.last_checkpoint: Optional[Checkpoint] = None
+        self.stats = StoreStats()
+        self._alive = True
+
+        self._queues: List[Channel] = [
+            Channel(sim, name=f"{name}-thread{i}") for i in range(n_threads)
+        ]
+        self._processes: List[Process] = [
+            sim.process(self._thread_loop(queue), name=f"{name}-thread{i}")
+            for i, queue in enumerate(self._queues)
+        ]
+        self._processes.append(sim.process(self._dispatch_loop(), name=f"{name}-dispatch"))
+        self._processes.append(sim.process(self._message_loop(), name=f"{name}-messages"))
+        if checkpoint_interval_us:
+            self._processes.append(
+                sim.process(self._checkpoint_loop(), name=f"{name}-checkpoint")
+            )
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+
+    @property
+    def alive(self) -> bool:
+        return self._alive
+
+    def fail(self) -> None:
+        """Fail-stop: all in-memory state vanishes; endpoint goes dark.
+
+        The last checkpoint is the only thing a recovery can start from
+        (it models durable/replicated checkpoint storage, as in ARIES-style
+        recovery the paper builds on [18]).
+        """
+        if not self._alive:
+            return
+        self._alive = False
+        for process in self._processes:
+            process.kill()
+        self.endpoint.fail()
+        self._data.clear()
+        self._owners.clear()
+        self._update_log.clear()
+        self._ts.clear()
+        self._nondet.clear()
+
+    # ------------------------------------------------------------------
+    # request handling
+    # ------------------------------------------------------------------
+
+    def _thread_for(self, key: str) -> Channel:
+        # Stable hash: each key maps to exactly one thread, reproducibly.
+        return self._queues[stable_hash(key) % self.n_threads]
+
+    def _dispatch_loop(self):
+        while self._alive:
+            request: RpcRequest = yield self.endpoint.requests.get()
+            payload = request.payload
+            if isinstance(payload, OpRequest):
+                # Both blocking and non-blocking ops are serialized through
+                # the key's thread; a non-blocking op is ACK'd as soon as it
+                # is applied (the requester is not waiting either way), so
+                # an ACK always means the update is durable in the store —
+                # which makes the client's ack_barrier() a true fence for
+                # handover flushes (§5.1).
+                self._thread_for(payload.key).put((payload, request))
+            elif isinstance(
+                payload,
+                (ReadRequest, WriteRequest, OwnerRequest, LockReadRequest, WriteUnlockRequest),
+            ):
+                self._thread_for(payload.key).put((payload, request))
+            elif isinstance(payload, BulkOwnerMove):
+                self._thread_for(payload.notify_key or payload.new_instance).put(
+                    (payload, request)
+                )
+            elif isinstance(payload, CloneRegistration):
+                if payload.register:
+                    self._clones[payload.original] = payload.clone
+                else:
+                    if self._clones.get(payload.original) == payload.clone:
+                        del self._clones[payload.original]
+                self.endpoint.respond(request, True)
+            elif isinstance(payload, TakeoverRequest):
+                self._thread_for(payload.new_instance).put((payload, request))
+            elif isinstance(payload, WatchRequest):
+                watchers = self._watcher_map(payload.kind).setdefault(payload.key, set())
+                watchers.add(payload.endpoint)
+                self.endpoint.respond(request, True)
+            elif isinstance(payload, UnwatchRequest):
+                self._watcher_map(payload.kind).get(payload.key, set()).discard(payload.endpoint)
+                self.endpoint.respond(request, True)
+            elif isinstance(payload, PruneRequest):
+                self._prune(payload.clock)
+            elif isinstance(payload, NonDetRequest):
+                self.endpoint.respond(request, self._nondet_value(payload))
+            elif isinstance(payload, SnapshotRequest):
+                snapshot = {
+                    k: copy.deepcopy(v)
+                    for k, v in self._data.items()
+                    if k.startswith(payload.prefix)
+                }
+                self.endpoint.respond(request, snapshot)
+            elif isinstance(payload, CheckpointControl):
+                self.take_checkpoint()
+                self.endpoint.respond(request, self.last_checkpoint.taken_at)
+            else:
+                self.endpoint.respond(request, RuntimeError(f"bad request {payload!r}"), ok=False)
+
+    def _message_loop(self):
+        """Consume one-way messages (prune notifications from the root)."""
+        while self._alive:
+            envelope = yield self.endpoint.messages.get()
+            if isinstance(envelope.payload, PruneRequest):
+                self._prune(envelope.payload.clock)
+
+    def _watcher_map(self, kind: str) -> Dict[str, Set[str]]:
+        return self._value_watchers if kind == "value" else self._owner_watchers
+
+    def _replicate(self, payload):
+        """Forward a state-changing request to the mirror.
+
+        Returns the mirror's response event when synchronous (the caller
+        yields it before replying), else None. Mirrored operations keep
+        their (key, clock, seq) identity, so the mirror's duplicate-
+        suppression log stays equivalent to the primary's.
+        """
+        if self.mirror is None:
+            return None
+        import copy as _copy
+
+        forwarded = _copy.copy(payload)
+        if isinstance(forwarded, OpRequest):
+            forwarded.blocking = True
+            forwarded.vector_tag = 0  # the primary already signalled the root
+        ack = self.endpoint.call_event(self.mirror, forwarded)
+        return ack if self.sync_replication else None
+
+    def _thread_loop(self, queue: Channel):
+        while self._alive:
+            payload, request = yield queue.get()
+            yield self.sim.timeout(self.op_service_us)
+            if not self._alive:
+                return
+            try:
+                yield from self._serve(payload, request)
+            except Exception as error:  # noqa: BLE001 — a bad request (e.g.
+                # an unregistered custom operation) must not kill the
+                # thread serving every other key it owns
+                if request is not None:
+                    self.endpoint.respond(request, error, ok=False)
+
+    def _serve(self, payload, request):
+        """Handle one queued request (thread context; may yield)."""
+        if isinstance(payload, OpRequest):
+            result = self.apply_operation(payload)
+            mirror_ack = self._replicate(payload)
+            if mirror_ack is not None:
+                yield mirror_ack
+            if request is not None:
+                if payload.blocking:
+                    self.endpoint.respond(request, result)
+                else:
+                    self.endpoint.respond(request, OpResult(value=None, emulated=result.emulated))
+        elif isinstance(payload, ReadRequest):
+            self.endpoint.respond(request, self._read(payload))
+        elif isinstance(payload, WriteRequest):
+            outcome = self._write(payload)
+            mirror_ack = self._replicate(payload)
+            if mirror_ack is not None:
+                yield mirror_ack
+            self.endpoint.respond(request, outcome)
+        elif isinstance(payload, OwnerRequest):
+            outcome = self._handle_owner(payload)
+            if payload.action != "get":
+                mirror_ack = self._replicate(payload)
+                if mirror_ack is not None:
+                    yield mirror_ack
+            self.endpoint.respond(request, outcome)
+        elif isinstance(payload, LockReadRequest):
+            self._handle_lock_read(payload, request)
+        elif isinstance(payload, WriteUnlockRequest):
+            self._handle_write_unlock(payload, request)
+        elif isinstance(payload, BulkOwnerMove):
+            yield self.sim.timeout(self.per_key_metadata_us * max(len(payload.keys), 1))
+            outcome = self._handle_bulk_move(payload)
+            mirror_ack = self._replicate(payload)
+            if mirror_ack is not None:
+                yield mirror_ack
+            self.endpoint.respond(request, outcome)
+        elif isinstance(payload, TakeoverRequest):
+            owned = [k for k, v in self._owners.items() if v == payload.old_instance]
+            yield self.sim.timeout(self.per_key_metadata_us * max(len(owned), 1))
+            for key in owned:
+                self._owners[key] = payload.new_instance
+            self._clones.pop(payload.old_instance, None)
+            mirror_ack = self._replicate(payload)
+            if mirror_ack is not None:
+                yield mirror_ack
+            self.endpoint.respond(request, len(owned))
+
+    # ------------------------------------------------------------------
+    # state operations
+    # ------------------------------------------------------------------
+
+    def apply_operation(self, op: OpRequest) -> OpResult:
+        """Serialize-and-apply one offloaded operation (or emulate it).
+
+        Public because store recovery re-executes WAL entries through the
+        same path.
+        """
+        key = op.key
+        owner = self._owners.get(key)
+        if op.claim_owner and owner is None:
+            # First write of a per-flow object: the metadata the client
+            # appends to the key associates the instance (§4.3) — no
+            # separate association round trip is needed.
+            self._owners[key] = owner = op.instance
+        if (
+            owner is not None
+            and op.instance
+            and owner != op.instance
+            and self._clones.get(owner) != op.instance
+        ):
+            self.stats.rejected += 1
+            return OpResult(value=None, ts=dict(self._ts.get(key, {})), emulated=False)
+
+        if self.dedup_enabled and op.log_update and op.clock:
+            committed = self._update_log.get((key, op.clock))
+            if committed is not None and op.seq in committed:
+                # Duplicate: an update with this (key, clock, seq) identity
+                # was already applied — emulate it (Figure 5b): return the
+                # logged value without touching state or re-signalling root.
+                # ``return_state`` is honoured so a clone's first touch can
+                # seed its cache from the store's current object ("CHC
+                # initializes the clone with the straggler's latest state
+                # from the datastore", §5.3).
+                self.stats.ops_emulated += 1
+                return OpResult(
+                    value=committed[op.seq],
+                    ts=dict(self._ts.get(key, {})),
+                    emulated=True,
+                    state=copy.deepcopy(self._data.get(key)) if op.return_state else None,
+                )
+
+        current = self._data.get(key)
+        new_value, return_value = self.registry.apply(op.op, current, op.args)
+        self._data[key] = new_value
+        self.stats.ops_applied += 1
+        if op.clock and op.instance:
+            self._ts.setdefault(key, {})[op.instance] = op.clock
+        if self.dedup_enabled and op.log_update and op.clock:
+            self._update_log.setdefault((key, op.clock), {})[op.seq] = return_value
+        if op.vector_tag and op.clock and self.root_endpoint:
+            # multi-root deployments name roots "root{id}"; the clock's high
+            # bits say which root logged this packet
+            destination = self.root_endpoint.format(root_id=_clock_root_id(op.clock))
+            self.endpoint.send(destination, CommitSignal(op.clock, op.vector_tag))
+            self.stats.commit_signals += 1
+        self._notify_value_watchers(key, new_value, exclude=op.instance)
+        return OpResult(
+            value=return_value,
+            ts=dict(self._ts.get(key, {})),
+            emulated=False,
+            state=copy.deepcopy(new_value) if op.return_state else None,
+        )
+
+    def _read(self, request: ReadRequest) -> ReadResult:
+        self.stats.reads += 1
+        return ReadResult(
+            value=copy.deepcopy(self._data.get(request.key)),
+            owner=self._owners.get(request.key),
+            ts=dict(self._ts.get(request.key, {})),
+        )
+
+    def _write(self, request: WriteRequest) -> bool:
+        owner = self._owners.get(request.key)
+        if owner is not None and request.instance and owner != request.instance:
+            self.stats.rejected += 1
+            return False
+        self._data[request.key] = request.value
+        self.stats.writes += 1
+        return True
+
+    def _handle_lock_read(self, payload: LockReadRequest, request) -> None:
+        """FIFO per-key locking (StatelessNF-style shared access [17])."""
+        key = payload.key
+        if key not in self._lock_holders:
+            self._lock_holders[key] = payload.instance
+            self.stats.reads += 1
+            self.endpoint.respond(
+                request, ReadResult(value=copy.deepcopy(self._data.get(key)))
+            )
+        else:
+            self._lock_waiters.setdefault(key, []).append((payload, request))
+
+    def _handle_write_unlock(self, payload: WriteUnlockRequest, request) -> None:
+        key = payload.key
+        self._data[key] = payload.value
+        self.stats.writes += 1
+        self.endpoint.respond(request, True)
+        waiters = self._lock_waiters.get(key, [])
+        if waiters:
+            next_payload, next_request = waiters.pop(0)
+            self._lock_holders[key] = next_payload.instance
+            self.stats.reads += 1
+            self.endpoint.respond(
+                next_request, ReadResult(value=copy.deepcopy(self._data.get(key)))
+            )
+        else:
+            self._lock_holders.pop(key, None)
+
+    def _handle_bulk_move(self, request: BulkOwnerMove) -> int:
+        """Swap ownership metadata for a group of keys (one message).
+
+        Fires owner callbacks on the rendezvous key so a waiting new
+        instance learns the handover completed (Figure 4 step 6).
+        """
+        moved = 0
+        for key in request.keys:
+            if self._owners.get(key) in (request.old_instance, None):
+                self._owners[key] = request.new_instance
+                moved += 1
+        if request.notify_key:
+            for watcher in sorted(self._owner_watchers.get(request.notify_key, ())):
+                self.endpoint.send(
+                    watcher,
+                    CallbackMessage(
+                        key=request.notify_key, kind="owner", owner=request.new_instance
+                    ),
+                )
+                self.stats.callbacks_sent += 1
+        return moved
+
+    def _handle_owner(self, request: OwnerRequest) -> Optional[str]:
+        key = request.key
+        if request.action == "get":
+            return self._owners.get(key)
+        if request.action == "associate":
+            self._owners[key] = request.instance
+        elif request.action == "disassociate":
+            if self._owners.get(key) == request.instance:
+                self._owners[key] = None
+        else:
+            raise ValueError(f"bad owner action {request.action!r}")
+        owner = self._owners.get(key)
+        for watcher in sorted(self._owner_watchers.get(key, ())):
+            self.endpoint.send(watcher, CallbackMessage(key=key, kind="owner", owner=owner))
+            self.stats.callbacks_sent += 1
+        return owner
+
+    def _notify_value_watchers(self, key: str, value: Any, exclude: str = "") -> None:
+        for watcher in sorted(self._value_watchers.get(key, ())):
+            if watcher == exclude:
+                continue
+            self.endpoint.send(watcher, CallbackMessage(key=key, kind="value", value=value))
+            self.stats.callbacks_sent += 1
+
+    def _nondet_value(self, request: NonDetRequest) -> Any:
+        """Appendix A: same (clock, purpose) always returns the same value."""
+        cache_key = (request.clock, request.purpose)
+        if cache_key not in self._nondet:
+            if request.kind == "time":
+                self._nondet[cache_key] = self.sim.now
+            else:
+                self._nondet[cache_key] = self._nondet_rng.random()
+        return self._nondet[cache_key]
+
+    def _prune(self, clock: int) -> None:
+        """Drop duplicate-suppression logs for a packet that left the chain."""
+        for log_key in [k for k in self._update_log if k[1] == clock]:
+            del self._update_log[log_key]
+        for nd_key in [k for k in self._nondet if k[0] == clock]:
+            del self._nondet[nd_key]
+
+    # ------------------------------------------------------------------
+    # checkpointing & introspection
+    # ------------------------------------------------------------------
+
+    def take_checkpoint(self) -> Checkpoint:
+        self.last_checkpoint = Checkpoint(
+            taken_at=self.sim.now,
+            data=copy.deepcopy(self._data),
+            ts={key: dict(per_key) for key, per_key in self._ts.items()},
+        )
+        return self.last_checkpoint
+
+    def _checkpoint_loop(self):
+        while self._alive:
+            yield self.sim.timeout(self.checkpoint_interval_us)
+            if not self._alive:
+                return
+            self.take_checkpoint()
+
+    def peek(self, key: str) -> Any:
+        """Direct read for tests/assertions (no simulated cost)."""
+        return self._data.get(key)
+
+    def owner_of(self, key: str) -> Optional[str]:
+        return self._owners.get(key)
+
+    def keys(self, prefix: str = "") -> List[str]:
+        return sorted(k for k in self._data if k.startswith(prefix))
+
+    def logged_clocks(self, key: str) -> List[int]:
+        return sorted(clock for (k, clock) in self._update_log if k == key)

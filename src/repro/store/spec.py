@@ -1,0 +1,81 @@
+"""State-object declarations: scope and access pattern (Table 1, Table 4).
+
+Every NF declares its state objects up front, each with a **scope** (which
+header fields key the object — this drives scope-aware traffic partitioning,
+§4.1) and an **access pattern**. The pair selects a management strategy per
+Table 1:
+
+====================  =======================  =========================================
+Scope                 Access pattern           Strategy
+====================  =======================  =========================================
+any                   write mostly/read rare   non-blocking ops, no caching
+per-flow              any                      cache + periodic non-blocking flush
+cross-flow            write rarely/read heavy  cache + store callbacks on update
+cross-flow            write/read often         cache only while the traffic split gives
+                                               this instance exclusive access; else flush
+====================  =======================  =========================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+FIVE_TUPLE_FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "proto")
+
+
+class Scope(enum.Enum):
+    """Whether an object is keyed per flow-partition or shared across them."""
+
+    PER_FLOW = "per-flow"
+    CROSS_FLOW = "cross-flow"
+
+
+class AccessPattern(enum.Enum):
+    """The read/write mix an NF developer declares for the object."""
+
+    WRITE_MOSTLY = "write mostly, read rarely"
+    READ_HEAVY = "write rarely, read mostly"
+    READ_WRITE_OFTEN = "write/read often"
+
+
+class CacheStrategy(enum.Enum):
+    """The Table 1 strategy selected from (scope, access pattern)."""
+
+    NON_BLOCKING = "non-blocking ops, no caching"
+    PER_FLOW_CACHE = "cache with periodic non-blocking flush"
+    READ_HEAVY_CACHE = "cache with callbacks"
+    SPLIT_AWARE = "cache if the traffic split allows, flush otherwise"
+
+
+@dataclass(frozen=True)
+class StateObjectSpec:
+    """Declaration of one state object.
+
+    ``scope_fields`` is the tuple of packet header fields that keys the
+    object — the return value of the paper's ``.scope()``; ``()`` means a
+    singleton shared object (e.g. a vertex-wide counter). ``scope`` says
+    whether, under the current partitioning granularity, the object is
+    confined to one instance (per-flow) or shared (cross-flow).
+    """
+
+    name: str
+    scope: Scope
+    access: AccessPattern
+    scope_fields: Tuple[str, ...] = FIVE_TUPLE_FIELDS
+    initial_value: object = None
+
+    def strategy(self) -> CacheStrategy:
+        """Table 1 strategy selection."""
+        if self.access is AccessPattern.WRITE_MOSTLY:
+            return CacheStrategy.NON_BLOCKING
+        if self.scope is Scope.PER_FLOW:
+            return CacheStrategy.PER_FLOW_CACHE
+        if self.access is AccessPattern.READ_HEAVY:
+            return CacheStrategy.READ_HEAVY_CACHE
+        return CacheStrategy.SPLIT_AWARE
+
+    def granularity(self) -> int:
+        """How fine-grained the scope is (more fields = finer)."""
+        return len(self.scope_fields)

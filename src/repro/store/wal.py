@@ -1,0 +1,89 @@
+"""NF-side write-ahead logs for datastore recovery (§5.4, Figure 7).
+
+Each NF instance locally logs, in strict issue order:
+
+* every **shared-state update operation** it offloads (``UpdateLogEntry``),
+  so a failed store instance can re-execute them; and
+* every **shared-state read**, together with the value returned and the
+  store's ``TS`` metadata at that read (``ReadLogEntry``), so recovery can
+  pick a re-execution order consistent with what the NF actually observed
+  (Case 2 of §5.4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class UpdateLogEntry:
+    """One offloaded shared-state update, as issued by this instance."""
+
+    clock: int
+    key: str
+    op: str
+    args: Tuple
+    seq: int = 0
+    at: float = 0.0
+
+
+@dataclass(frozen=True)
+class ReadLogEntry:
+    """One shared-state read: the value seen and the store's TS at that time.
+
+    ``ts`` maps instance ID -> logical clock of that instance's last update
+    executed by the store (the paper's ``TS`` set, e.g. ``TS19{20,11,8,13}``).
+    """
+
+    clock: int
+    key: str
+    value: Any
+    ts: Dict[str, int]
+    at: float = 0.0
+
+
+class WriteAheadLog:
+    """Per-instance WAL: updates and read snapshots in issue order."""
+
+    def __init__(self, instance_id: str):
+        self.instance_id = instance_id
+        self.updates: List[UpdateLogEntry] = []
+        self.reads: List[ReadLogEntry] = []
+
+    def log_update(
+        self, clock: int, key: str, op: str, args: Tuple, seq: int = 0, at: float = 0.0
+    ) -> None:
+        self.updates.append(
+            UpdateLogEntry(clock=clock, key=key, op=op, args=args, seq=seq, at=at)
+        )
+
+    def log_read(
+        self, clock: int, key: str, value: Any, ts: Dict[str, int], at: float = 0.0
+    ) -> None:
+        self.reads.append(ReadLogEntry(clock=clock, key=key, value=value, ts=dict(ts), at=at))
+
+    def updates_for(self, key: str) -> List[UpdateLogEntry]:
+        return [entry for entry in self.updates if entry.key == key]
+
+    def reads_for(self, key: str) -> List[ReadLogEntry]:
+        return [entry for entry in self.reads if entry.key == key]
+
+    def updates_after(self, key: str, clock: int) -> List[UpdateLogEntry]:
+        """Update ops on ``key`` strictly after the op with clock ``clock``.
+
+        The log is in issue order and clocks of one instance's ops are
+        strictly increasing, so "after" is a positional cut.
+        """
+        entries = self.updates_for(key)
+        for index, entry in enumerate(entries):
+            if entry.clock == clock:
+                return entries[index + 1 :]
+        return entries  # clock not found -> nothing from us executed yet
+
+    def truncate(self) -> None:
+        self.updates.clear()
+        self.reads.clear()
+
+    def __len__(self) -> int:
+        return len(self.updates) + len(self.reads)

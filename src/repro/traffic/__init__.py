@@ -1,0 +1,50 @@
+"""Traffic substrate: packets, flows, and synthetic traces.
+
+The paper evaluates with two packet traces captured between a campus and
+AWS EC2 (Trace1: 3.8M packets / 1.7K connections, median 368B; Trace2:
+6.4M packets / 199K connections, median 1434B). Those traces are not
+public, so this package generates **synthetic analogues** with matching
+summary statistics — flow counts, packet-size medians, TCP/UDP mix, and
+heavy-tailed flow lengths — under a seeded RNG so every experiment is
+deterministic. Experiments in the paper depend only on these statistics
+and on controllable event ordering (e.g. where trojan signatures sit in
+the stream), all of which the generators reproduce.
+"""
+
+from repro.traffic.packet import (
+    PROTO_TCP,
+    PROTO_UDP,
+    FiveTuple,
+    Packet,
+    SYN,
+    ACK,
+    FIN,
+    RST,
+)
+from repro.traffic.flows import Flow, FlowSpec, flow_packets
+from repro.traffic.trace import Trace, TraceStats, make_trace, make_trace1, make_trace2
+from repro.traffic.trojan import TrojanScenario, inject_trojan_signatures
+from repro.traffic.workload import ReplaySource, load_interval_us
+
+__all__ = [
+    "ACK",
+    "FIN",
+    "FiveTuple",
+    "Flow",
+    "FlowSpec",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "Packet",
+    "RST",
+    "ReplaySource",
+    "SYN",
+    "Trace",
+    "TraceStats",
+    "TrojanScenario",
+    "flow_packets",
+    "inject_trojan_signatures",
+    "load_interval_us",
+    "make_trace",
+    "make_trace1",
+    "make_trace2",
+]

@@ -1,0 +1,116 @@
+"""Trojan-signature scenario construction (§2.1, §7.3 R4).
+
+The off-path trojan detector (De Carli et al. [12]) flags a host that, in
+this order: (1) opens an SSH connection, (2) transfers files over FTP,
+(3) generates IRC activity. The R4 experiment injects the signature at 11
+points in the trace and checks the detector finds all of them when it can
+reason about true arrival order (CHC logical clocks), but misses some when
+upstream NFs delay/reorder traffic and no chain-wide ordering exists.
+
+Decoy hosts perform the same three activities in a *different* order — a
+correct detector must not flag them (false-positive check).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from repro.traffic.flows import FlowSpec, flow_packets
+from repro.traffic.packet import FiveTuple, PORT_FTP, PORT_IRC, PORT_SSH, Packet
+from repro.traffic.trace import Trace
+
+SIGNATURE_ORDER = (PORT_SSH, PORT_FTP, PORT_IRC)
+
+
+@dataclass
+class TrojanScenario:
+    """A trace with injected signatures and the ground truth to score against."""
+
+    trace: Trace
+    infected_hosts: List[str]
+    decoy_hosts: List[str]
+    injection_points: List[int] = field(default_factory=list)
+
+
+def _activity_flow(
+    host: str,
+    server: str,
+    port: int,
+    rng: random.Random,
+    n_packets: int = 6,
+) -> List[Packet]:
+    spec = FlowSpec(
+        five_tuple=FiveTuple(
+            src_ip=host,
+            dst_ip=server,
+            src_port=rng.randrange(20000, 60000),
+            dst_port=port,
+        ),
+        n_packets=n_packets,
+        data_size_bytes=400,
+        gap_us=0.5,
+    )
+    return [p for _t, p in flow_packets(spec, rng)]
+
+
+def inject_trojan_signatures(
+    base: Trace,
+    n_signatures: int = 11,
+    n_decoys: int = 8,
+    seed: int = 7,
+    separation: int = 40,
+) -> TrojanScenario:
+    """Insert ``n_signatures`` in-order signatures and shuffled decoys.
+
+    Each signature is three short flows (SSH, then FTP, then IRC) from a
+    fresh infected host, with the three flows ``separation`` packets apart
+    in the stream so intervening traffic interleaves them. Decoys use a
+    non-signature permutation of the same ports.
+    """
+    if len(base) < (n_signatures + n_decoys) * separation * 3 + 10:
+        raise ValueError(
+            f"trace too short ({len(base)} pkts) for {n_signatures} signatures "
+            f"+ {n_decoys} decoys at separation {separation}"
+        )
+    rng = random.Random(seed)
+    packets = list(base.packets)
+
+    infected = [f"172.16.0.{i + 1}" for i in range(n_signatures)]
+    decoys = [f"172.16.1.{i + 1}" for i in range(n_decoys)]
+    server = "52.99.0.1"
+
+    # (insertion position, packets) — build all insertions, then apply from
+    # the back so earlier indices stay valid.
+    insertions: List[Tuple[int, List[Packet]]] = []
+    usable = len(packets) - 3 * separation - 1
+    points: List[int] = []
+
+    def plan(host: str, order: Sequence[int]) -> int:
+        anchor = rng.randrange(1, usable)
+        for step, port in enumerate(order):
+            flow = _activity_flow(host, server, port, rng)
+            insertions.append((anchor + step * separation, flow))
+        return anchor
+
+    for host in infected:
+        points.append(plan(host, SIGNATURE_ORDER))
+    non_signature_orders = [
+        (PORT_FTP, PORT_SSH, PORT_IRC),
+        (PORT_IRC, PORT_FTP, PORT_SSH),
+        (PORT_SSH, PORT_IRC, PORT_FTP),
+    ]
+    for i, host in enumerate(decoys):
+        plan(host, non_signature_orders[i % len(non_signature_orders)])
+
+    for position, flow in sorted(insertions, key=lambda item: item[0], reverse=True):
+        packets[position:position] = flow
+
+    times = list(range(len(packets)))  # uniform reference spacing after insertion
+    return TrojanScenario(
+        trace=Trace(packets=packets, times=[float(t) for t in times], name=base.name + "+trojan"),
+        infected_hosts=infected,
+        decoy_hosts=decoys,
+        injection_points=points,
+    )

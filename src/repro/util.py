@@ -1,0 +1,34 @@
+"""Small shared utilities."""
+
+from __future__ import annotations
+
+import zlib
+from typing import Tuple
+
+
+def stable_hash(value) -> int:
+    """A deterministic hash, stable across processes and runs.
+
+    Python's built-in ``hash`` for strings is salted per process
+    (``PYTHONHASHSEED``), which would make traffic partitioning and store
+    sharding non-reproducible. CRC32 over the repr is plenty for load
+    spreading and is identical everywhere.
+    """
+    if isinstance(value, bytes):
+        data = value
+    elif isinstance(value, str):
+        data = value.encode()
+    else:
+        data = repr(value).encode()
+    return zlib.crc32(data)
+
+
+def fields_subset(partition_fields: Tuple[str, ...], scope_fields: Tuple[str, ...]) -> bool:
+    """True when partitioning on ``partition_fields`` confines each
+    ``scope_fields``-keyed state object to a single instance.
+
+    Partitioning on a subset of the object's scope fields means all packets
+    sharing the object's key land on one instance (the partition key is a
+    function of the scope key).
+    """
+    return set(partition_fields) <= set(scope_fields)

@@ -1,0 +1,84 @@
+"""Shared fixtures: a simulator, a network, a store, and client factories."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Link, Network
+from repro.store.client import StoreClient
+from repro.store.cluster import StoreCluster
+from repro.store.datastore import DatastoreInstance
+from repro.store.spec import AccessPattern, Scope, StateObjectSpec
+from repro.traffic.packet import FiveTuple, Packet
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+@pytest.fixture
+def network(sim):
+    return Network(sim, Link(latency_us=14.0), seed=7)
+
+
+@pytest.fixture
+def store(sim, network):
+    return DatastoreInstance(sim, network, "store0", n_threads=4)
+
+
+@pytest.fixture
+def cluster(store):
+    return StoreCluster([store])
+
+
+def default_specs():
+    """A representative spec set covering all four Table 1 strategies."""
+    return {
+        "counter": StateObjectSpec(
+            "counter", Scope.CROSS_FLOW, AccessPattern.WRITE_MOSTLY, (), initial_value=0
+        ),
+        "flow_state": StateObjectSpec(
+            "flow_state", Scope.PER_FLOW, AccessPattern.READ_WRITE_OFTEN, initial_value=0
+        ),
+        "config": StateObjectSpec(
+            "config", Scope.CROSS_FLOW, AccessPattern.READ_HEAVY, (), initial_value=None
+        ),
+        "shared": StateObjectSpec(
+            "shared",
+            Scope.CROSS_FLOW,
+            AccessPattern.READ_WRITE_OFTEN,
+            ("src_ip",),
+            initial_value=0,
+        ),
+    }
+
+
+@pytest.fixture
+def client_factory(sim, network, cluster):
+    def make(instance_id="nf-0", vertex="nf", **kwargs):
+        return StoreClient(
+            sim,
+            network,
+            cluster,
+            vertex_id=vertex,
+            instance_id=instance_id,
+            specs=default_specs(),
+            **kwargs,
+        )
+
+    return make
+
+
+@pytest.fixture
+def client(client_factory):
+    return client_factory()
+
+
+def make_packet(
+    src="10.0.0.1", dst="52.0.0.1", sport=1234, dport=80, proto=6, clock=0, **kwargs
+):
+    packet = Packet(FiveTuple(src, dst, sport, dport, proto), **kwargs)
+    packet.clock = clock
+    return packet

@@ -1,0 +1,192 @@
+"""Unit/integration tests for the comparator systems."""
+
+import pytest
+
+from repro.baselines.ftmb import FtmbHarness
+from repro.baselines.opennf import (
+    OpenNfController,
+    OpenNfSharedStateHarness,
+    opennf_move,
+)
+from repro.baselines.statelessnf import LockingStateAPI, StatelessNfHarness
+from repro.baselines.traditional import TraditionalChain, TraditionalNFHarness
+from repro.nfs import Nat
+from repro.simnet.engine import Simulator
+from repro.traffic.trace import make_trace2
+from repro.traffic.workload import ReplaySource
+from tests.conftest import make_packet
+from tests.test_cloning import SinkCounterNF, SlowCounterNF
+
+
+class TestTraditional:
+    def test_processes_and_records(self, sim):
+        harness = TraditionalNFHarness(sim, Nat(), proc_time_us=2.0)
+        trace = make_trace2(scale=0.0002)
+        ReplaySource(sim, trace.packets, harness.inject, load_fraction=0.5)
+        sim.run(until=60_000_000)
+        assert harness.processed == len(trace)
+        assert harness.recorder.median() == pytest.approx(2.0)
+
+    def test_failure_loses_all_state(self, sim):
+        harness = TraditionalNFHarness(sim, Nat())
+        harness.inject(make_packet(flags=0x02))
+        sim.run()
+        assert harness.state.data
+        harness.fail()
+        assert harness.state.data == {}
+
+    def test_chain_wires_stages(self, sim):
+        chain = TraditionalChain(sim, [SlowCounterNF(), SinkCounterNF()])
+        for sport in range(20):
+            chain.inject(make_packet(sport=3000 + sport))
+        sim.run()
+        assert chain.egress_meter.packets == 20
+        assert chain.stages[0].processed == 20
+        assert chain.stages[1].processed == 20
+        assert len(chain.egress_recorder) == 20
+
+    def test_chain_end_to_end_latency_small(self, sim):
+        chain = TraditionalChain(sim, [SlowCounterNF(), SinkCounterNF()])
+        chain.inject(make_packet())
+        sim.run()
+        # 2 hops + 2 NICs + 2 x 2µs processing: low double digits
+        assert chain.egress_recorder.values[0] < 20.0
+
+
+class TestFtmb:
+    def test_checkpoint_stall_inflates_tail(self, sim):
+        harness = FtmbHarness(
+            sim, Nat(), checkpoint_interval_us=1_000.0, checkpoint_stall_us=500.0
+        )
+
+        def source():
+            for index in range(400):
+                harness.inject(make_packet(sport=1000 + (index % 9)))
+                yield sim.timeout(10.0)
+
+        sim.process(source())
+        sim.run(until=10_000)
+        assert harness.checkpoints_taken >= 3
+        p95 = harness.sojourn.percentile(95)
+        median = harness.sojourn.median()
+        assert p95 > 100.0  # packets caught behind the stall
+        assert median < p95
+
+    def test_recovery_replays_input_log(self, sim):
+        harness = FtmbHarness(
+            sim, SlowCounterNF(), checkpoint_interval_us=500.0, checkpoint_stall_us=0.0
+        )
+
+        def source():
+            for index in range(78):  # ends just before t=1200
+                harness.inject(make_packet(sport=1000 + index))
+                yield sim.timeout(15.0)
+
+        sim.process(source())
+        sim.run(until=1_200)  # mid-interval: some inputs logged since the
+        total_before = harness.state.data[("total", None)]  # last checkpoint
+
+        def recover():
+            duration = yield from harness.recover()
+            return duration
+
+        duration = sim.run_process(recover())
+        assert duration > 0
+        assert harness.state.data[("total", None)] == total_before
+
+
+class TestOpenNf:
+    def test_controller_serializes_updates(self, sim):
+        controller = OpenNfController(sim, n_instances=2, serialize=True)
+        release_times = []
+
+        def submitter(index):
+            def body():
+                yield sim.timeout(index * 0.1)
+                yield controller.mediate()
+                release_times.append(sim.now)
+
+            return body
+
+        for index in range(4):
+            sim.process(submitter(index)())
+        sim.run()
+        assert controller.mediated == 4
+        gaps = [b - a for a, b in zip(release_times, release_times[1:])]
+        # back-to-back releases are spaced by the controller's service time
+        assert all(gap >= 100.0 for gap in gaps)
+
+    def test_concurrent_controller_overlaps(self, sim):
+        controller = OpenNfController(sim, n_instances=2)
+        releases = []
+
+        def submit():
+            done = controller.mediate()
+            done.add_callback(lambda e: releases.append(sim.now))
+        for _ in range(5):
+            submit()
+        sim.run()
+        # all five released at the same mediation latency (pipelined)
+        assert len(set(round(t, 3) for t in releases)) == 1
+
+    def test_shared_state_harness_pays_controller_latency(self, sim):
+        controller = OpenNfController(sim, n_instances=2)
+        harness = OpenNfSharedStateHarness(sim, Nat(), controller)
+        harness.inject(make_packet())
+        sim.run()
+        assert harness.sojourn.values[0] > 100.0  # >> the 2µs CPU cost
+
+    def test_move_cost_scales_with_flows(self, sim):
+        def cost(n_flows):
+            def body():
+                result = yield from opennf_move(sim, n_flows)
+                return result.duration_us
+
+            return sim.run_process(body())
+
+        small = cost(100)
+        large = cost(4000)
+        assert large > small
+        assert large > 2_000.0  # milliseconds territory at 4000 flows
+
+
+class TestStatelessNf:
+    def test_update_costs_two_rtts(self, sim, network, store):
+        api = LockingStateAPI(sim, network, "store0", "nat", "snf-0")
+
+        def body():
+            start = sim.now
+            value = yield from api.update("counter", None, "incr", 1)
+            return value, sim.now - start
+
+        value, elapsed = sim.run_process(body())
+        assert value == 1
+        assert elapsed >= 56.0  # two RTTs over the 14µs links
+
+    def test_two_writers_never_lose_updates(self, sim, network, store):
+        apis = [
+            LockingStateAPI(sim, network, "store0", "nat", f"snf-{k}")
+            for k in range(2)
+        ]
+
+        def writer(api, n):
+            def body():
+                for _ in range(n):
+                    yield from api.update("counter", None, "incr", 1)
+
+            return body
+
+        procs = [sim.process(writer(api, 25)()) for api in apis]
+        sim.run()
+        assert all(p.ok for p in procs)
+        assert store.peek("nat\x1fcounter\x1f") == 50
+
+    def test_harness_runs_nf_against_store(self, sim, network, store):
+        harness = StatelessNfHarness(sim, Nat(), network, "store0", name="snf-h")
+        for sport in range(5):
+            harness.inject(make_packet(sport=4000 + sport, flags=0x02))
+        sim.run()
+        assert harness.processed == 5
+        # state lives in the store, not the NF
+        assert store.peek("nat\x1ftotal_packets\x1f") == 5
+        assert harness.recorder.median() > 50.0

@@ -1,0 +1,66 @@
+"""Integration test for chain-wide ordering (R4, §5.2, Figure 2).
+
+The Figure 2 chain: firewall -> three scrubbers (per-protocol) -> off-path
+trojan detector. One scrubber instance is slowed (resource contention),
+which reorders one protocol's traffic relative to the others by the time
+the copy reaches the detector. With logical clocks the detector still
+finds every injected signature and flags no decoys; reasoning from local
+arrival order it misses some.
+"""
+
+import random
+
+import pytest
+
+from repro.bench.scenarios import build_trojan_chain
+from repro.simnet.engine import Simulator
+from repro.traffic.trace import make_trace2
+from repro.traffic.trojan import inject_trojan_signatures
+from repro.traffic.workload import ReplaySource
+
+
+def run_figure2(use_clocks, delayed_ports, n_signatures=5, seed=3):
+    sim = Simulator()
+    runtime = build_trojan_chain(sim, use_clocks=use_clocks)
+    base = make_trace2(scale=0.0015, seed=seed)
+    scenario = inject_trojan_signatures(
+        base, n_signatures=n_signatures, n_decoys=4, seed=seed, separation=25
+    )
+    # Slow the scrubber instance(s) handling the delayed protocols: 50-100µs
+    # random extra per-packet delay (the paper's W1-W3 workloads).
+    rng = random.Random(seed)
+    splitter = runtime.splitter("scrubber")
+    from repro.traffic.packet import FiveTuple, Packet
+
+    for port in delayed_ports:
+        probe = Packet(FiveTuple("172.16.0.1", "52.99.0.1", 30000, port))
+        instance_id = splitter.route(probe)[0]
+        runtime.instances[instance_id].extra_delay = lambda: 50.0 + rng.random() * 50.0
+
+    ReplaySource(sim, scenario.trace.packets, runtime.inject, load_fraction=0.5)
+    sim.run(until=300_000_000)
+    detector = runtime.instances_of("trojan")[0].nf
+    return scenario, detector
+
+
+class TestChainWideOrdering:
+    def test_clocks_find_all_signatures_under_upstream_delay(self):
+        scenario, detector = run_figure2(use_clocks=True, delayed_ports=[21])
+        assert set(scenario.infected_hosts) <= set(detector.detections)
+
+    def test_clocks_flag_no_decoys(self):
+        scenario, detector = run_figure2(use_clocks=True, delayed_ports=[21, 22])
+        assert not (set(scenario.decoy_hosts) & set(detector.detections))
+
+    def test_arrival_order_misses_signatures_when_ftp_delayed(self):
+        # Delaying the FTP scrubber pushes FTP activity past IRC in arrival
+        # order at the detector -> missed detections without clocks.
+        scenario, detector = run_figure2(use_clocks=False, delayed_ports=[21])
+        missed = set(scenario.infected_hosts) - set(detector.detections)
+        assert missed, "expected the no-clock detector to miss reordered signatures"
+
+    def test_without_delays_both_modes_agree(self):
+        scenario_clock, detector_clock = run_figure2(use_clocks=True, delayed_ports=[])
+        scenario_arr, detector_arr = run_figure2(use_clocks=False, delayed_ports=[])
+        assert set(scenario_clock.infected_hosts) <= set(detector_clock.detections)
+        assert set(scenario_arr.infected_hosts) <= set(detector_arr.detections)

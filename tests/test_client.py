@@ -1,0 +1,329 @@
+"""Unit tests for the client-side library (Table 1 strategies, §4.3)."""
+
+import pytest
+
+from repro.simnet.network import Link
+from repro.store.spec import CacheStrategy
+
+
+def drive(sim, generator):
+    return sim.run_process(generator)
+
+
+FLOW = ("10.0.0.1", "52.0.0.1", 1234, 80, 6)
+
+
+class TestNonBlockingStrategy:
+    def test_update_waits_for_ack_when_configured(self, sim, client):
+        def body():
+            start = sim.now
+            yield from client.update("counter", None, "incr", 1)
+            return sim.now - start
+
+        elapsed = drive(sim, body())
+        assert elapsed >= 28.0  # one RTT: the ACK was awaited
+        assert client.stats.nonblocking_ops == 1
+
+    def test_update_returns_immediately_without_ack_wait(self, sim, client_factory, store):
+        client = client_factory("nf-na", wait_for_acks=False)
+
+        def body():
+            start = sim.now
+            yield from client.update("counter", None, "incr", 1)
+            return sim.now - start
+
+        elapsed = drive(sim, body())
+        assert elapsed == 0.0
+        sim.run()
+        assert store.peek(client._key("counter", None)[1]) == 1
+
+    def test_need_result_forces_blocking(self, sim, client, store):
+        def body():
+            value = yield from client.update("counter", None, "incr", 5, need_result=True)
+            return value
+
+        assert drive(sim, body()) == 5
+        assert client.stats.blocking_ops == 1
+
+
+class TestPerFlowCache:
+    def test_cached_update_is_local_and_flushed(self, sim, client, store):
+        def body():
+            # first touch: cold cache -> blocking op seeds it from the store
+            first = yield from client.update("flow_state", FLOW, "incr", 1)
+            start = sim.now
+            second = yield from client.update("flow_state", FLOW, "incr", 1)
+            return (first, second, sim.now - start)
+
+        first, second, elapsed = drive(sim, body())
+        assert (first, second) == (1, 2)
+        assert elapsed == 0.0  # warm cache: local apply; flush asynchronous
+        sim.run()
+        storage_key = client._key("flow_state", FLOW)[1]
+        assert store.peek(storage_key) == 2
+        assert store.owner_of(storage_key) == "nf-0"  # claimed on first write
+
+    def test_cold_update_seeds_cache_from_store(self, sim, client, client_factory, store):
+        # live state exists in the store (e.g. before a failover) ...
+        def seed():
+            yield from client.update("flow_state", FLOW, "incr", 5)
+            yield client.ack_barrier()
+
+        drive(sim, seed())
+        store._owners.clear()
+        # ... a fresh instance's first *update* must not restart from the
+        # initial value: it executes at the store and seeds its cache
+        other = client_factory("nf-cold")
+
+        def cold():
+            value = yield from other.update("flow_state", FLOW, "incr", 1)
+            cached = yield from other.read("flow_state", FLOW)
+            return value, cached
+
+        value, cached = drive(sim, cold())
+        assert value == 6
+        assert cached == 6
+        assert other.stats.cached_reads == 1
+
+    def test_cached_read_hits_locally(self, sim, client):
+        def body():
+            yield from client.update("flow_state", FLOW, "incr", 1)
+            value = yield from client.read("flow_state", FLOW)
+            return value
+
+        assert drive(sim, body()) == 1
+        assert client.stats.cached_reads == 1
+        assert client.stats.store_reads == 0
+
+    def test_cache_miss_fetches_from_store(self, sim, client, client_factory, store):
+        def writer():
+            yield from client.update("flow_state", FLOW, "incr", 7)
+            yield client.ack_barrier()
+
+        drive(sim, writer())
+        # a different instance (e.g. after takeover) must fetch from store
+        other = client_factory("nf-1")
+        store._owners.clear()  # simulate released ownership
+
+        def reader():
+            value = yield from other.read("flow_state", FLOW)
+            return value
+
+        assert drive(sim, reader()) == 7
+        assert other.stats.store_reads == 1
+
+    def test_ack_barrier_fences_flushes(self, sim, client, store):
+        def body():
+            for _ in range(10):
+                yield from client.update("flow_state", FLOW, "incr", 1)
+            yield client.ack_barrier()
+            return store.peek(client._key("flow_state", FLOW)[1])
+
+        assert drive(sim, body()) == 10
+
+
+class TestReadHeavyCache:
+    def test_first_read_registers_watch_then_cached(self, sim, client):
+        def body():
+            first = yield from client.read("config", None)
+            cached = yield from client.read("config", None)
+            return (first, cached)
+
+        drive(sim, body())
+        assert client.stats.store_reads == 1
+        assert client.stats.cached_reads == 1
+
+    def test_update_propagates_to_peer_caches(self, sim, client, client_factory):
+        peer = client_factory("nf-1")
+
+        def warm(c):
+            def body():
+                value = yield from c.read("config", None)
+                return value
+
+            return body
+
+        drive(sim, warm(client)())
+        drive(sim, warm(peer)())
+
+        def update():
+            value = yield from client.update("config", None, "set", {"limit": 9})
+            return value
+
+        assert drive(sim, update()) == {"limit": 9}
+        sim.run()  # callbacks propagate
+
+        def peer_read():
+            value = yield from peer.read("config", None)
+            return value
+
+        assert drive(sim, peer_read()) == {"limit": 9}
+        assert peer.stats.callbacks_received >= 1
+        # the peer answered from its refreshed cache, not the store
+        assert peer.stats.store_reads == 1
+
+
+class TestSplitAware:
+    def test_exclusive_updates_are_local(self, sim, client):
+        client._exclusive["shared"] = True
+
+        def body():
+            yield from client.update("shared", ("10.0.0.1",), "incr", 1)  # cold
+            start = sim.now
+            yield from client.update("shared", ("10.0.0.1",), "incr", 1)  # warm
+            return sim.now - start
+
+        assert drive(sim, body()) == 0.0
+
+    def test_non_exclusive_updates_block(self, sim, client):
+        client._exclusive["shared"] = False
+
+        def body():
+            start = sim.now
+            value = yield from client.update("shared", ("10.0.0.1",), "incr", 1)
+            return (value, sim.now - start)
+
+        value, elapsed = drive(sim, body())
+        assert value == 1
+        assert elapsed >= 28.0
+
+    def test_losing_exclusivity_flushes_and_drops_cache(self, sim, client, store):
+        client._exclusive["shared"] = True
+
+        def body():
+            yield from client.update("shared", ("10.0.0.1",), "incr", 3)
+            yield from client.set_exclusive("shared", False)
+            # after the flush, the store is authoritative and consistent
+            return store.peek(client._key("shared", ("10.0.0.1",))[1])
+
+        assert drive(sim, body()) == 3
+        assert not any(k.startswith("nf\x1fshared") for k in client._cache)
+
+
+class TestCachingDisabled:
+    def test_eo_model_reads_and_writes_through(self, sim, client_factory):
+        client = client_factory("nf-eo", caching_enabled=False)
+
+        def body():
+            start = sim.now
+            yield from client.update("flow_state", FLOW, "incr", 1)
+            after_update = sim.now - start
+            value = yield from client.read("flow_state", FLOW)
+            return (after_update, value)
+
+        elapsed, value = drive(sim, body())
+        assert elapsed >= 28.0  # even per-flow state costs an RTT
+        assert value == 1
+        assert client.stats.cached_reads == 0
+
+
+class TestWalAndVector:
+    def test_cross_flow_updates_are_wal_logged(self, sim, client):
+        from tests.conftest import make_packet
+
+        packet = make_packet(clock=42)
+        client.begin_packet(packet)
+
+        def body():
+            yield from client.update("counter", None, "incr", 1)
+            yield from client.update("shared", ("10.0.0.1",), "incr", 1, need_result=True)
+
+        drive(sim, body())
+        assert len(client.wal.updates) == 2
+        assert all(entry.clock == 42 for entry in client.wal.updates)
+
+    def test_per_flow_updates_not_wal_logged(self, sim, client):
+        def body():
+            yield from client.update("flow_state", FLOW, "incr", 1)
+
+        drive(sim, body())
+        assert client.wal.updates == []
+
+    def test_reads_logged_with_ts(self, sim, client):
+        from tests.conftest import make_packet
+
+        client.begin_packet(make_packet(clock=7))
+
+        def body():
+            yield from client.update("counter", None, "incr", 1)
+            yield client.ack_barrier()
+            yield from client.read("counter", None)
+
+        drive(sim, body())
+        # NON_BLOCKING objects read through to the store and log the read
+        assert len(client.wal.reads) == 1
+        assert client.wal.reads[0].ts == {"nf-0": 7}
+
+    def test_packet_vector_accumulates_tags(self, sim, client_factory):
+        from tests.conftest import make_packet
+
+        client = client_factory("nf-v")
+        client.vector_tags = {"counter": 0x00010002, "shared": 0x00010003}
+        packet = make_packet(clock=5)
+        client.begin_packet(packet)
+
+        def body():
+            yield from client.update("counter", None, "incr", 1)
+            yield from client.update("shared", ("10.0.0.1",), "incr", 1, need_result=True)
+
+        drive(sim, body())
+        assert packet.bitvector == 0x00010002 ^ 0x00010003
+
+    def test_seq_increments_per_key_per_packet(self, sim, client):
+        from tests.conftest import make_packet
+
+        client.begin_packet(make_packet(clock=3))
+
+        def body():
+            yield from client.update("counter", None, "incr", 1)
+            yield from client.update("counter", None, "incr", 1)
+
+        drive(sim, body())
+        seqs = [entry.seq for entry in client.wal.updates]
+        assert seqs == [0, 1]
+        client.begin_packet(make_packet(clock=4))
+        drive(sim, body())
+        assert [entry.seq for entry in client.wal.updates[2:]] == [0, 1]
+
+
+class TestRetransmission:
+    def test_unacked_op_retransmitted_on_lossy_link(self, sim, network, client_factory, store):
+        network.connect("nf-rt", "store0", Link(latency_us=14.0, loss=0.7))
+        client = client_factory(
+            "nf-rt", wait_for_acks=False, retransmit_timeout_us=100.0
+        )
+
+        from tests.conftest import make_packet
+
+        client.begin_packet(make_packet(clock=11))
+
+        def body():
+            yield from client.update("counter", None, "incr", 1)
+            yield sim.timeout(10_000)
+
+        drive(sim, body())
+        # retransmitted until delivered, applied exactly once (the store
+        # dedups on the (key, clock, seq) identity)
+        assert store.peek(client._key("counter", None)[1]) == 1
+        assert client.stats.retransmissions >= 1
+
+
+class TestBulkRelease:
+    def test_release_keys_bulk_moves_ownership(self, sim, client, client_factory, store):
+        def seed():
+            yield from client.update("flow_state", FLOW, "incr", 1)
+            yield client.ack_barrier()
+
+        drive(sim, seed())
+        storage_key = client._key("flow_state", FLOW)[1]
+
+        def release():
+            moved = yield from client.release_keys_bulk(
+                [storage_key], "nf-1", notify_key="rv"
+            )
+            return moved
+
+        assert drive(sim, release()) == 1
+        assert store.owner_of(storage_key) == "nf-1"
+        assert storage_key not in client.owned_items()
+        assert storage_key not in client._cache

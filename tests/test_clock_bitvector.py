@@ -1,0 +1,80 @@
+"""Unit tests for logical clocks and XOR bit-vector tags."""
+
+import pytest
+
+from repro.core.bitvector import TagRegistry, decode_tag, encode_tag
+from repro.core.clock import (
+    LogicalClock,
+    MAX_ROOT_ID,
+    clock_root,
+    clock_sequence,
+    make_clock,
+)
+
+
+class TestClockEncoding:
+    def test_roundtrip(self):
+        clock = make_clock(5, 123456)
+        assert clock_root(clock) == 5
+        assert clock_sequence(clock) == 123456
+
+    def test_root_id_in_high_bits_orders_after_low_roots_sequences(self):
+        # clocks from different roots are disjoint ranges
+        assert make_clock(1, 1) > make_clock(0, 2**40)
+
+    def test_bounds_checked(self):
+        with pytest.raises(ValueError):
+            make_clock(MAX_ROOT_ID + 1, 0)
+        with pytest.raises(ValueError):
+            make_clock(0, -1)
+
+    def test_clock_source_monotonic(self):
+        clock = LogicalClock(root_id=2)
+        values = [clock.next() for _ in range(100)]
+        assert values == sorted(values)
+        assert len(set(values)) == 100
+        assert all(clock_root(v) == 2 for v in values)
+
+    def test_resume_skips_unpersisted_window(self):
+        original = LogicalClock(root_id=0)
+        for _ in range(137):
+            original.next()
+        persisted = 100  # last persisted multiple
+        resumed = LogicalClock.resume_from(0, persisted, persist_every=100)
+        next_clock = resumed.next()
+        # even though 137 clocks were issued, resuming from 100+100+1 can
+        # never reuse a value
+        assert clock_sequence(next_clock) > 137
+
+
+class TestTags:
+    def test_encode_decode(self):
+        tag = encode_tag(3, 9)
+        assert decode_tag(tag) == (3, 9)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            encode_tag(1 << 16, 0)
+        with pytest.raises(ValueError):
+            encode_tag(0, 1 << 16)
+
+    def test_registry_stable_and_distinct(self):
+        registry = TagRegistry()
+        nat_ports = registry.tag("nat", "ports")
+        nat_counter = registry.tag("nat", "counter")
+        lb_counter = registry.tag("lb", "counter")
+        assert nat_ports != nat_counter
+        assert nat_counter != lb_counter
+        assert registry.tag("nat", "ports") == nat_ports  # stable
+
+    def test_registry_deterministic_across_builds(self):
+        def build():
+            registry = TagRegistry()
+            return registry.tags_for("nat", ["a", "b", "c"])
+
+        assert build() == build()
+
+    def test_xor_of_pair_cancels(self):
+        registry = TagRegistry()
+        tag = registry.tag("v", "obj")
+        assert tag ^ tag == 0

@@ -1,0 +1,68 @@
+"""Unit tests for state keys and the Table 1 strategy matrix."""
+
+import pytest
+
+from repro.store.keys import StateKey, parse_storage_key
+from repro.store.spec import AccessPattern, CacheStrategy, Scope, StateObjectSpec
+
+
+class TestStateKey:
+    def test_roundtrip(self):
+        key = StateKey("nat", "port_map", ("10.0.0.1", "52.0.0.1", 1, 2, 6))
+        vertex, obj, flow = parse_storage_key(key.storage_key())
+        assert vertex == "nat"
+        assert obj == "port_map"
+        assert "10.0.0.1" in flow
+
+    def test_shared_key_has_no_flow(self):
+        key = StateKey("nat", "total_packets")
+        assert key.storage_key().endswith("\x1f")
+
+    def test_vertex_isolates_same_object_names(self):
+        # "When two logical vertices use the same key to store their
+        # state, vertex ID prevents any conflicts" (§4.3).
+        a = StateKey("nat", "counter", ("x",))
+        b = StateKey("lb", "counter", ("x",))
+        assert a.storage_key() != b.storage_key()
+
+    def test_object_id_ignores_flow(self):
+        a = StateKey("nat", "port_map", ("flow1",))
+        b = StateKey("nat", "port_map", ("flow2",))
+        assert a.object_id() == b.object_id()
+
+    def test_str_is_readable(self):
+        assert str(StateKey("nat", "port_map", (1, 2))) == "nat/port_map/1|2"
+
+
+class TestStrategyMatrix:
+    """Table 1: (scope, access pattern) -> management strategy."""
+
+    def _spec(self, scope, access, fields=("src_ip",)):
+        return StateObjectSpec("obj", scope, access, fields)
+
+    def test_write_mostly_is_nonblocking_any_scope(self):
+        for scope in (Scope.PER_FLOW, Scope.CROSS_FLOW):
+            spec = self._spec(scope, AccessPattern.WRITE_MOSTLY)
+            assert spec.strategy() is CacheStrategy.NON_BLOCKING
+
+    def test_per_flow_any_other_pattern_is_cached(self):
+        for access in (AccessPattern.READ_HEAVY, AccessPattern.READ_WRITE_OFTEN):
+            spec = self._spec(Scope.PER_FLOW, access)
+            assert spec.strategy() is CacheStrategy.PER_FLOW_CACHE
+
+    def test_cross_flow_read_heavy_uses_callbacks(self):
+        spec = self._spec(Scope.CROSS_FLOW, AccessPattern.READ_HEAVY)
+        assert spec.strategy() is CacheStrategy.READ_HEAVY_CACHE
+
+    def test_cross_flow_read_write_often_is_split_aware(self):
+        spec = self._spec(Scope.CROSS_FLOW, AccessPattern.READ_WRITE_OFTEN)
+        assert spec.strategy() is CacheStrategy.SPLIT_AWARE
+
+    def test_granularity(self):
+        fine = self._spec(
+            Scope.PER_FLOW,
+            AccessPattern.READ_HEAVY,
+            ("src_ip", "dst_ip", "src_port", "dst_port", "proto"),
+        )
+        coarse = self._spec(Scope.CROSS_FLOW, AccessPattern.READ_HEAVY, ("src_ip",))
+        assert fine.granularity() > coarse.granularity()

@@ -1,0 +1,166 @@
+"""Unit tests for the network fabric and RPC layer."""
+
+import pytest
+
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Link, Network
+from repro.simnet.rpc import RpcEndpoint, RpcTimeout
+
+
+class TestLinks:
+    def test_constant_latency_delivery(self, sim, network):
+        inbox = network.register("dst")
+        network.send("src", "dst", "hello")
+        sim.run()
+        assert len(inbox) == 1
+        envelope = inbox.try_get()
+        assert envelope.payload == "hello"
+        assert sim.now == pytest.approx(14.0)
+
+    def test_explicit_link_overrides_default(self, sim, network):
+        inbox = network.register("dst")
+        network.connect("src", "dst", Link(latency_us=2.0))
+        network.send("src", "dst", "fast")
+        sim.run()
+        assert sim.now == pytest.approx(2.0)
+        assert len(inbox) == 1
+
+    def test_lossy_link_drops(self, sim):
+        network = Network(sim, Link(latency_us=1.0, loss=1.0), seed=1)
+        network.register("dst")
+        for _ in range(10):
+            network.send("src", "dst", "x")
+        sim.run()
+        assert network.dropped == 10
+        assert network.delivered == 0
+
+    def test_jitter_can_reorder(self, sim):
+        network = Network(sim, Link(latency_us=1.0, jitter_us=50.0), seed=3)
+        received = []
+        network.register_callback("dst", lambda env: received.append(env.payload))
+        for i in range(30):
+            sim.schedule(i * 0.01, network.send, "src", "dst", i)
+        sim.run()
+        assert sorted(received) == list(range(30))
+        assert received != list(range(30))  # jitter reordered something
+
+    def test_down_endpoint_drops(self, sim, network):
+        network.register("dst")
+        network.set_down("dst")
+        network.send("src", "dst", "x")
+        sim.run()
+        assert network.dropped == 1
+
+    def test_unknown_endpoint_drops(self, sim, network):
+        network.send("src", "ghost", "x")
+        sim.run()
+        assert network.dropped == 1
+
+    def test_duplicate_registration_rejected(self, sim, network):
+        network.register("dup")
+        with pytest.raises(ValueError):
+            network.register("dup")
+
+    def test_reregistration_after_unregister_clears_down(self, sim, network):
+        network.register("node")
+        network.set_down("node")
+        network.unregister("node")
+        inbox = network.register("node")
+        network.send("src", "node", "back")
+        sim.run()
+        assert len(inbox) == 1
+
+
+class TestRpc:
+    def _echo_server(self, sim, endpoint):
+        def loop():
+            while True:
+                request = yield endpoint.requests.get()
+                endpoint.respond(request, ("echo", request.payload))
+
+        sim.process(loop())
+
+    def test_call_roundtrip(self, sim, network):
+        server = RpcEndpoint(sim, network, "server")
+        client = RpcEndpoint(sim, network, "client")
+        self._echo_server(sim, server)
+
+        def body():
+            value = yield client.call_event("server", "ping")
+            return (sim.now, value)
+
+        at, value = sim.run_process(body())
+        assert value == ("echo", "ping")
+        assert at == pytest.approx(28.0)  # one RTT over the 14µs default link
+
+    def test_oneway_message(self, sim, network):
+        server = RpcEndpoint(sim, network, "server")
+        client = RpcEndpoint(sim, network, "client")
+        client.send("server", {"kind": "notify"})
+        sim.run()
+        assert len(server.messages) == 1
+        envelope = server.messages.try_get()
+        assert envelope.payload == {"kind": "notify"}  # unwrapped payload
+        assert envelope.src == "client"
+
+    def test_call_with_retransmission_succeeds_on_lossy_link(self, sim):
+        network = Network(sim, Link(latency_us=1.0), seed=5)
+        network.connect("client", "server", Link(latency_us=1.0, loss=0.6))
+        server = RpcEndpoint(sim, network, "server")
+        client = RpcEndpoint(sim, network, "client")
+        self._echo_server(sim, server)
+
+        def body():
+            value = yield from client.call("server", "data", timeout_us=10.0, max_retries=50)
+            return value
+
+        assert sim.run_process(body()) == ("echo", "data")
+
+    def test_call_timeout_raises(self, sim, network):
+        RpcEndpoint(sim, network, "server")  # never answers
+        client = RpcEndpoint(sim, network, "client")
+
+        def body():
+            yield from client.call("server", "x", timeout_us=5.0, max_retries=2)
+
+        proc = sim.process(body())
+        sim.run()
+        assert not proc.ok
+        assert isinstance(proc.value, RpcTimeout)
+
+    def test_failed_endpoint_goes_dark(self, sim, network):
+        server = RpcEndpoint(sim, network, "server")
+        client = RpcEndpoint(sim, network, "client")
+        self._echo_server(sim, server)
+        server.fail()
+        waiter = client.call_event("server", "ping")
+        sim.run()
+        assert not waiter.triggered
+
+    def test_concurrent_calls_matched_by_id(self, sim, network):
+        server = RpcEndpoint(sim, network, "server")
+        client = RpcEndpoint(sim, network, "client")
+
+        def slow_server():
+            while True:
+                request = yield server.requests.get()
+                delay = 10.0 if request.payload == "slow" else 1.0
+
+                def respond_later(req=request, d=delay):
+                    def body():
+                        yield sim.timeout(d)
+                        server.respond(req, req.payload.upper())
+
+                    sim.process(body())
+
+                respond_later()
+
+        sim.process(slow_server())
+
+        def body():
+            slow = client.call_event("server", "slow")
+            fast = client.call_event("server", "fast")
+            values = yield sim.all_of([slow, fast])
+            return values
+
+        assert sim.run_process(body()) == ["SLOW", "FAST"]

@@ -1,0 +1,390 @@
+"""Unit tests for the network functions (Table 4 + chain NFs).
+
+NF logic is driven directly against :class:`LocalStateAPI` (the vertex
+programs are framework-agnostic), with a handful of CHC-integration
+checks where the store interaction matters.
+"""
+
+import pytest
+
+from repro.core.nf_api import LocalStateAPI
+from repro.nfs import (
+    Dpi,
+    Firewall,
+    FirewallRule,
+    Ids,
+    LoadBalancer,
+    Nat,
+    PortscanDetector,
+    RateLimiter,
+    Scrubber,
+    TrojanDetector,
+)
+from repro.traffic.packet import ACK, FIN, FiveTuple, PROTO_UDP, Packet, RST, SYN
+from tests.conftest import make_packet
+
+
+def run_nf(nf, packets, state=None):
+    """Drive an NF over packets with local state; returns (state, outputs)."""
+    state = state or LocalStateAPI()
+    for op_name, op_fn in nf.custom_operations().items():
+        if op_name not in state.registry:
+            state.registry.register(op_name, op_fn)
+    collected = []
+    clock = 0
+    for packet in packets:
+        if packet.clock == 0:
+            clock += 1
+            packet.clock = clock
+        generator = nf.process(packet, state)
+        try:
+            while True:
+                next(generator)
+        except StopIteration as stop:
+            collected.append(stop.value or [])
+    return state, collected
+
+
+def tcp_exchange(src="10.0.0.5", dst="52.0.0.9", sport=3333, dport=80, n_data=3):
+    ft = FiveTuple(src, dst, sport, dport)
+    packets = [Packet(ft, flags=SYN, size_bytes=60),
+               Packet(ft.reversed(), flags=SYN | ACK, size_bytes=60)]
+    packets += [Packet(ft, flags=ACK, size_bytes=1000) for _ in range(n_data)]
+    packets.append(Packet(ft, flags=FIN | ACK, size_bytes=60))
+    return packets
+
+
+class TestNat:
+    def test_allocates_one_port_per_connection(self):
+        nat = Nat()
+        state, outputs = run_nf(nat, tcp_exchange())
+        mapping = state.data[("port_map", Nat.flow_key(tcp_exchange()[0]))]
+        assert mapping[0] == nat.external_ip
+        assert 40_000 <= mapping[1] < 40_512
+        # every input packet was forwarded
+        assert all(len(o) == 1 for o in outputs)
+
+    def test_counters_track_packets(self):
+        packets = tcp_exchange(n_data=5)
+        state, _ = run_nf(Nat(), packets)
+        assert state.data[("total_packets", None)] == len(packets)
+        assert state.data[("total_tcp_packets", None)] == len(packets)
+
+    def test_udp_not_counted_as_tcp(self):
+        ft = FiveTuple("10.0.0.5", "52.0.0.9", 53, 53, PROTO_UDP)
+        state, _ = run_nf(Nat(), [Packet(ft, flags=0)])
+        assert state.data[("total_packets", None)] == 1
+        assert ("total_tcp_packets", None) not in state.data or state.data[
+            ("total_tcp_packets", None)
+        ] == 0
+
+    def test_distinct_connections_distinct_ports(self):
+        nat = Nat()
+        state = LocalStateAPI()
+        run_nf(nat, tcp_exchange(sport=1111), state)
+        run_nf(nat, tcp_exchange(sport=2222), state)
+        ports = {
+            value[1]
+            for (obj, _k), value in state.data.items()
+            if obj == "port_map"
+        }
+        assert len(ports) == 2
+
+    def test_port_exhaustion_drops(self):
+        nat = Nat(port_range=(40_000, 40_001))  # one port only
+        state = LocalStateAPI()
+        _, first = run_nf(nat, tcp_exchange(sport=1111), state)
+        _, second = run_nf(nat, tcp_exchange(sport=2222), state)
+        assert nat.ports_exhausted >= 1
+        assert second[0] == []  # the SYN of the second connection dropped
+
+    def test_rewrite_translates_outbound(self):
+        nat = Nat(rewrite=True)
+        state, outputs = run_nf(nat, tcp_exchange())
+        translated = outputs[0][0].packet
+        assert translated.five_tuple.src_ip == nat.external_ip
+        assert translated.five_tuple.src_port >= 40_000
+
+    def test_release_port_returns_to_pool(self):
+        nat = Nat()
+        state = LocalStateAPI()
+        run_nf(nat, tcp_exchange(), state)
+
+        def drive(gen):
+            try:
+                while True:
+                    next(gen)
+            except StopIteration as stop:
+                return stop.value
+
+        before = len(state.data[("available_ports", None)])
+        drive(nat.release_port(state, 40_000))
+        assert len(state.data[("available_ports", None)]) == before + 1
+
+
+class TestPortscanDetector:
+    def _probe(self, src, dport, refused):
+        ft = FiveTuple(src, "52.0.0.9", 10_000 + dport, dport)
+        answer_flags = (RST | ACK) if refused else (SYN | ACK)
+        return [Packet(ft, flags=SYN, size_bytes=60),
+                Packet(ft.reversed(), flags=answer_flags, size_bytes=60)]
+
+    def test_scanner_flagged_after_enough_failures(self):
+        detector = PortscanDetector(threshold=16.0)
+        packets = []
+        for port in range(80, 95):
+            packets += self._probe("10.0.0.66", port, refused=True)
+        run_nf(detector, packets)
+        assert "10.0.0.66" in detector.flagged
+
+    def test_benign_host_not_flagged(self):
+        detector = PortscanDetector(threshold=16.0)
+        packets = []
+        for port in range(80, 95):
+            packets += self._probe("10.0.0.7", port, refused=False)
+        run_nf(detector, packets)
+        assert detector.flagged == {}
+
+    def test_mixed_outcomes_balance(self):
+        detector = PortscanDetector(threshold=16.0)
+        packets = []
+        for port in range(80, 110):
+            packets += self._probe("10.0.0.8", port, refused=(port % 2 == 0))
+        run_nf(detector, packets)
+        assert "10.0.0.8" not in detector.flagged
+
+    def test_alert_emitted_once(self):
+        detector = PortscanDetector(threshold=4.0)
+        packets = []
+        for port in range(80, 100):
+            packets += self._probe("10.0.0.9", port, refused=True)
+        _state, outputs = run_nf(detector, packets)
+        alerts = [o for outs in outputs for o in outs if o.edge == "alert"]
+        assert len(alerts) == 1
+
+    def test_rst_without_pending_ignored(self):
+        detector = PortscanDetector()
+        ft = FiveTuple("52.0.0.9", "10.0.0.1", 80, 9999)
+        run_nf(detector, [Packet(ft, flags=RST | ACK)])
+        assert detector.conn_events == 0
+
+    def test_duplicate_event_counting(self):
+        detector = PortscanDetector()
+        packets = self._probe("10.0.0.1", 80, refused=True)
+        state = LocalStateAPI()
+        run_nf(detector, packets, state)
+        # replay the same (clock-stamped) packets: spurious duplicates
+        for packet in packets:
+            generator = detector.process(packet, state)
+            try:
+                while True:
+                    next(generator)
+            except StopIteration:
+                pass
+        assert detector.duplicate_conn_events >= 1
+
+
+class TestTrojanDetector:
+    def _activity(self, host, dport, clock, syn=True):
+        packet = Packet(
+            FiveTuple(host, "52.99.0.1", 20_000 + clock, dport),
+            flags=SYN if syn else ACK,
+            size_bytes=200,
+        )
+        packet.clock = clock
+        return packet
+
+    def test_signature_order_detected(self):
+        detector = TrojanDetector()
+        packets = [
+            self._activity("172.16.0.1", 22, clock=10),
+            self._activity("172.16.0.1", 21, clock=20),
+            self._activity("172.16.0.1", 6667, clock=30),
+        ]
+        run_nf(detector, packets)
+        assert "172.16.0.1" in detector.detections
+
+    def test_wrong_order_not_detected(self):
+        detector = TrojanDetector()
+        packets = [
+            self._activity("172.16.0.2", 6667, clock=10),
+            self._activity("172.16.0.2", 21, clock=20),
+            self._activity("172.16.0.2", 22, clock=30),
+        ]
+        run_nf(detector, packets)
+        assert detector.detections == {}
+
+    def test_clocks_beat_arrival_order(self):
+        # packets arrive shuffled (FTP delayed past IRC) but clocks carry
+        # the truth — the R4 scenario
+        detector = TrojanDetector(use_clocks=True)
+        packets = [
+            self._activity("172.16.0.3", 22, clock=10),
+            self._activity("172.16.0.3", 6667, clock=30),
+            self._activity("172.16.0.3", 21, clock=20),  # late FTP
+        ]
+        run_nf(detector, packets)
+        assert "172.16.0.3" in detector.detections
+
+    def test_without_clocks_misses_reordered_signature(self):
+        detector = TrojanDetector(use_clocks=False)
+        packets = [
+            self._activity("172.16.0.4", 22, clock=10),
+            self._activity("172.16.0.4", 6667, clock=30),
+            self._activity("172.16.0.4", 21, clock=20),
+        ]
+        run_nf(detector, packets)
+        assert detector.detections == {}
+
+    def test_non_activity_traffic_ignored(self):
+        detector = TrojanDetector()
+        run_nf(detector, [self._activity("172.16.0.5", 80, clock=1)])
+        assert detector.detections == {}
+
+    def test_alert_output_emitted(self):
+        detector = TrojanDetector()
+        packets = [
+            self._activity("172.16.0.6", 22, clock=1),
+            self._activity("172.16.0.6", 21, clock=2),
+            self._activity("172.16.0.6", 6667, clock=3),
+        ]
+        _state, outputs = run_nf(detector, packets)
+        alerts = [o for outs in outputs for o in outs if o.edge == "alert"]
+        assert len(alerts) == 1
+        assert "trojan:172.16.0.6" in alerts[0].packet.payload
+
+
+class TestLoadBalancer:
+    def test_least_loaded_chosen(self):
+        lb = LoadBalancer(servers=("s1", "s2"))
+        state = LocalStateAPI()
+        run_nf(lb, tcp_exchange(sport=1111)[:1], state)  # SYN only
+        run_nf(lb, tcp_exchange(sport=2222)[:1], state)
+        loads = state.data[("server_conns", None)]
+        assert loads == {"s1": 1, "s2": 1}
+
+    def test_connection_affinity(self):
+        lb = LoadBalancer(servers=("s1", "s2"))
+        state, _ = run_nf(lb, tcp_exchange(n_data=4))
+        key = ("conn_map", LoadBalancer.flow_key(tcp_exchange()[0]))
+        assert state.data[key] in ("s1", "s2")
+
+    def test_fin_releases_connection(self):
+        lb = LoadBalancer(servers=("s1",))
+        state, _ = run_nf(lb, tcp_exchange())
+        assert state.data[("server_conns", None)]["s1"] == 0
+
+    def test_byte_counter_accumulates(self):
+        lb = LoadBalancer(servers=("s1",))
+        packets = tcp_exchange(n_data=2)
+        state, _ = run_nf(lb, packets)
+        assert state.data[("server_bytes", None)] == sum(p.size_bytes for p in packets)
+
+    def test_mid_flow_packet_without_syn_passes(self):
+        lb = LoadBalancer(servers=("s1",))
+        ft = FiveTuple("10.0.0.1", "52.0.0.1", 1234, 80)
+        _state, outputs = run_nf(lb, [Packet(ft, flags=ACK)])
+        assert len(outputs[0]) == 1
+
+    def test_rewrite_sets_backend(self):
+        lb = LoadBalancer(servers=("s9",), rewrite=True)
+        _state, outputs = run_nf(lb, tcp_exchange()[:1])
+        assert outputs[0][0].packet.five_tuple.dst_ip == "s9"
+
+    def test_empty_server_list_rejected(self):
+        with pytest.raises(ValueError):
+            LoadBalancer(servers=())
+
+
+class TestFirewall:
+    def test_default_rules_allow_outbound(self):
+        firewall = Firewall()
+        _state, outputs = run_nf(firewall, tcp_exchange()[:1])
+        assert len(outputs[0]) == 1
+
+    def test_unmatched_traffic_denied(self):
+        firewall = Firewall()
+        ft = FiveTuple("203.0.113.9", "10.0.0.1", 1234, 445)
+        _state, outputs = run_nf(firewall, [Packet(ft, flags=SYN)])
+        assert outputs[0] == []
+        assert firewall.denied == 1
+
+    def test_connection_hole_admits_return_traffic(self):
+        firewall = Firewall(rules=(FirewallRule(action="allow", src_prefix="10."),))
+        ft = FiveTuple("10.0.0.5", "203.0.113.1", 1111, 80)
+        state = LocalStateAPI()
+        run_nf(firewall, [Packet(ft, flags=SYN)], state)
+        # return direction matches no static rule but the hole admits it
+        _, outputs = run_nf(firewall, [Packet(ft.reversed(), flags=SYN | ACK)], state)
+        assert outputs[0] != []
+
+    def test_rule_fields_are_anded(self):
+        rule = FirewallRule(action="allow", src_prefix="10.", dst_port=80)
+        assert rule.matches(Packet(FiveTuple("10.1.1.1", "x", 1, 80)))
+        assert not rule.matches(Packet(FiveTuple("10.1.1.1", "x", 1, 443)))
+        assert not rule.matches(Packet(FiveTuple("11.1.1.1", "x", 1, 80)))
+
+    def test_denied_counter_updates(self):
+        firewall = Firewall(rules=())
+        state, _ = run_nf(firewall, tcp_exchange()[:3])
+        assert state.data[("denied_count", None)] == 3
+
+
+class TestIdsDpiScrubberRateLimiter:
+    def test_ids_flags_heavy_flow(self):
+        ids = Ids(suspicious_bytes=2_000)
+        packets = tcp_exchange(n_data=5)
+        _state, outputs = run_nf(ids, packets)
+        suspicious = [o for outs in outputs for o in outs if o.edge == "suspicious"]
+        assert suspicious  # 5 x 1000B crosses the 2000B threshold
+
+    def test_ids_port_counter_shared_scope(self):
+        ids = Ids()
+        state, _ = run_nf(ids, tcp_exchange(n_data=2))
+        assert state.data[("port_packets", (80,))] >= 1
+
+    def test_dpi_scope_order_finest_first(self):
+        scopes = Dpi().scope()
+        assert scopes[0] == ("src_ip", "dst_ip", "src_port", "dst_port", "proto")
+        assert scopes[-1] == ("src_ip",)
+
+    def test_dpi_records_conn_outcome(self):
+        dpi = Dpi()
+        ft = FiveTuple("10.0.0.1", "52.0.0.1", 1234, 80)
+        state, _ = run_nf(
+            dpi,
+            [Packet(ft, flags=SYN), Packet(ft.reversed(), flags=SYN | ACK)],
+        )
+        assert state.data[("conn_success", Dpi.flow_key(Packet(ft)))] is True
+
+    def test_scrubber_counts_and_forwards(self):
+        scrubber = Scrubber()
+        packets = tcp_exchange(n_data=2)
+        state, outputs = run_nf(scrubber, packets)
+        assert all(len(o) == 1 for o in outputs)
+        key = ("scrubbed", Scrubber.flow_key(packets[0]))
+        assert state.data[key] == len(packets)
+
+    def test_rate_limiter_drops_over_limit(self):
+        limiter = RateLimiter(limit=3, window=1_000)
+        ft = FiveTuple("10.0.0.1", "52.0.0.1", 1234, 80)
+        packets = [Packet(ft, flags=ACK) for _ in range(10)]
+        _state, outputs = run_nf(limiter, packets)
+        forwarded = sum(1 for o in outputs if o)
+        assert forwarded == 3
+        assert limiter.dropped == 7
+
+    def test_rate_limiter_window_resets(self):
+        limiter = RateLimiter(limit=2, window=10)
+        ft = FiveTuple("10.0.0.1", "52.0.0.1", 1234, 80)
+        early = [Packet(ft, flags=ACK) for _ in range(2)]
+        for index, packet in enumerate(early):
+            packet.clock = index + 1
+        late = Packet(ft, flags=ACK)
+        late.clock = 100
+        _state, outputs = run_nf(limiter, early + [late])
+        assert all(outputs)
+
+    def test_rate_limiter_validates_params(self):
+        with pytest.raises(ValueError):
+            RateLimiter(limit=0)

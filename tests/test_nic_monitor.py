@@ -1,0 +1,122 @@
+"""Unit tests for the NIC model and the measurement helpers."""
+
+import pytest
+
+from repro.simnet.monitor import LatencyRecorder, ThroughputMeter, percentile, percentiles
+from repro.simnet.nic import Nic
+
+
+class TestNic:
+    def test_serialisation_delay(self, sim):
+        received = []
+        nic = Nic(sim, rate_gbps=10.0, deliver=lambda p: received.append((sim.now, p)))
+        nic.send("pkt", size_bits=10_000)  # 10000 bits at 10Gbps = 1µs
+        sim.run()
+        assert received == [(pytest.approx(1.0), "pkt")]
+
+    def test_back_to_back_packets_serialise(self, sim):
+        received = []
+        nic = Nic(sim, rate_gbps=1.0, deliver=lambda p: received.append(sim.now))
+        for _ in range(3):
+            nic.send("p", size_bits=1_000)  # 1µs each at 1Gbps
+        sim.run()
+        assert received == [pytest.approx(1.0), pytest.approx(2.0), pytest.approx(3.0)]
+
+    def test_overhead_bits_reduce_goodput(self, sim):
+        received = []
+        nic = Nic(
+            sim,
+            rate_gbps=10.0,
+            deliver=lambda p: received.append(sim.now),
+            per_packet_overhead_bits=10_000,
+        )
+        nic.send("p", size_bits=10_000)
+        sim.run()
+        assert received == [pytest.approx(2.0)]
+        assert nic.tx_bits == 10_000  # goodput counts payload only
+
+    def test_queue_limit_tail_drop(self, sim):
+        nic = Nic(sim, rate_gbps=0.001, deliver=lambda p: None, queue_limit=2)
+        results = [nic.send("p", 1000) for _ in range(5)]
+        assert results.count(False) >= 2
+        assert nic.drops >= 2
+
+    def test_failed_nic_stops_delivering(self, sim):
+        received = []
+        nic = Nic(sim, rate_gbps=10.0, deliver=received.append)
+        nic.send("p", 1000)
+        nic.fail()
+        sim.run()
+        assert received == []
+
+
+class TestPercentiles:
+    def test_percentile_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3
+
+    def test_percentiles_dict(self):
+        result = percentiles(range(101), (5, 50, 95))
+        assert result[5.0] == pytest.approx(5)
+        assert result[50.0] == pytest.approx(50)
+        assert result[95.0] == pytest.approx(95)
+
+    def test_empty_samples_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+
+
+class TestLatencyRecorder:
+    def test_summary(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.record(float(value))
+        summary = recorder.summary()
+        assert summary[50.0] == pytest.approx(50.5)
+        assert len(recorder) == 100
+        assert recorder.mean() == pytest.approx(50.5)
+
+    def test_cdf_monotone(self):
+        recorder = LatencyRecorder()
+        for value in [5, 1, 9, 3, 7]:
+            recorder.record(value)
+        cdf = recorder.cdf()
+        xs = [x for x, _ in cdf]
+        ys = [y for _, y in cdf]
+        assert xs == sorted(xs)
+        assert ys == sorted(ys)
+        assert ys[-1] == pytest.approx(1.0)
+
+    def test_windowed_mean(self):
+        recorder = LatencyRecorder()
+        recorder.record(10.0, timestamp=0.0)
+        recorder.record(20.0, timestamp=100.0)
+        recorder.record(30.0, timestamp=600.0)
+        windows = recorder.windowed_mean(500.0)
+        assert windows[0] == (0.0, pytest.approx(15.0))
+        assert windows[1] == (500.0, pytest.approx(30.0))
+
+    def test_windowed_mean_skips_gap_windows(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0, timestamp=0.0)
+        recorder.record(2.0, timestamp=2600.0)
+        windows = recorder.windowed_mean(500.0)
+        assert len(windows) == 2
+
+
+class TestThroughputMeter:
+    def test_gbps_over_span(self):
+        meter = ThroughputMeter()
+        meter.add(10_000, now=0.0)
+        meter.add(10_000, now=2.0)  # 20k bits over 2µs = 10 Gbps
+        assert meter.gbps() == pytest.approx(10.0)
+        assert meter.packets == 2
+
+    def test_explicit_duration(self):
+        meter = ThroughputMeter()
+        meter.add(5_000, now=1.0)
+        assert meter.gbps(duration_us=1.0) == pytest.approx(5.0)
+
+    def test_zero_duration_is_zero(self):
+        meter = ThroughputMeter()
+        meter.add(100, now=5.0)
+        assert meter.gbps() == 0.0

@@ -1,0 +1,132 @@
+"""Appendix A — store-computed non-deterministic values.
+
+An NF that samples packets "randomly" must make the *same* decisions when
+its packets are replayed to a failover instance or a clone — otherwise
+internal state diverges from the no-failure execution. CHC replaces local
+randomness with datastore-computed values keyed by the packet's logical
+clock: a second request with the same clock returns the same value.
+"""
+
+import pytest
+
+from repro.core.chain_runtime import ChainRuntime
+from repro.core.dag import LogicalChain
+from repro.core.nf_api import NetworkFunction, Output
+from repro.core.recovery import fail_over_nf
+from repro.simnet.engine import Simulator
+from repro.store.keys import StateKey
+from repro.store.spec import AccessPattern, Scope, StateObjectSpec
+from tests.conftest import make_packet
+
+
+class SamplingNF(NetworkFunction):
+    """Counts a "random" 30% sample of packets (store-driven randomness)."""
+
+    name = "sampler"
+    decisions = None  # test-level sink: list of (instance marker, clock, sampled)
+
+    def __init__(self):
+        self.marker = object()
+
+    def state_specs(self):
+        return {
+            "sampled": StateObjectSpec(
+                "sampled", Scope.CROSS_FLOW, AccessPattern.WRITE_MOSTLY, (),
+                initial_value=0,
+            ),
+        }
+
+    def process(self, packet, state):
+        draw = yield from state.nondet("sample")
+        sampled = draw < 0.3
+        if SamplingNF.decisions is not None:
+            SamplingNF.decisions.append((id(self.marker), packet.clock, sampled))
+        if sampled:
+            yield from state.update("sampled", None, "incr", 1)
+        return [Output(packet)]
+
+
+def build(sim):
+    SamplingNF.decisions = []
+    chain = LogicalChain("nondet")
+    chain.add_vertex("sampler", SamplingNF, entry=True)
+    return ChainRuntime(sim, chain)
+
+
+def run(sim, runtime, n=60, crash_at=None, results=None):
+    def source():
+        for index in range(n):
+            runtime.inject(make_packet(sport=1000 + (index % 4)))
+            yield sim.timeout(3.0)
+            if crash_at is not None and index == crash_at:
+                runtime.instances["sampler-0"].fail()
+
+                def recover():
+                    results["r"] = yield from fail_over_nf(runtime, "sampler-0")
+
+                sim.process(recover())
+
+    sim.process(source())
+    sim.run(until=60_000_000)
+
+
+def sampled_count(runtime):
+    key = StateKey("sampler", "sampled").storage_key()
+    return runtime.store.instance_for_key(key).peek(key) or 0
+
+
+class TestNonDeterminism:
+    def test_same_clock_same_value(self, sim):
+        runtime = build(sim)
+        client = runtime.instances_of("sampler")[0].client
+        packet = make_packet(clock=17)
+
+        def body():
+            ctx = client.make_context(packet)
+            first = yield from client.nondet("sample", ctx=ctx)
+            again = yield from client.nondet("sample", ctx=ctx)
+            other_ctx = client.make_context(make_packet(clock=18))
+            other = yield from client.nondet("sample", ctx=other_ctx)
+            return first, again, other
+
+        first, again, other = sim.run_process(body())
+        assert first == again
+        assert first != other
+
+    def test_decisions_identical_under_failover_replay(self):
+        clean_sim = Simulator()
+        clean = build(clean_sim)
+        run(clean_sim, clean)
+        clean_decisions = {
+            clock: sampled for _m, clock, sampled in SamplingNF.decisions
+        }
+        clean_count = sampled_count(clean)
+
+        crash_sim = Simulator()
+        crashed = build(crash_sim)
+        results = {}
+        run(crash_sim, crashed, crash_at=20, results=results)
+        assert results["r"].replayed > 0
+        # every decision (original or replayed at the replacement) matches
+        # the clean run's decision for that clock
+        for _marker, clock, sampled in SamplingNF.decisions:
+            assert clean_decisions[clock] == sampled, f"clock {clock} diverged"
+        # and the sampled counter is exactly the no-failure value
+        assert sampled_count(crashed) == clean_count
+
+    def test_replayed_decision_uses_original_draw(self):
+        sim = Simulator()
+        runtime = build(sim)
+        results = {}
+        run(sim, runtime, crash_at=20, results=results)
+        by_clock = {}
+        for marker, clock, sampled in SamplingNF.decisions:
+            by_clock.setdefault(clock, set()).add(sampled)
+        # a clock processed twice (original + replay) never flips
+        assert all(len(values) == 1 for values in by_clock.values())
+
+    def test_nondet_values_pruned_with_packet(self, sim):
+        runtime = build(sim)
+        run(sim, runtime, n=10)
+        sim.run(until=120_000_000)  # prune grace elapses
+        assert runtime.stores[0]._nondet == {}

@@ -1,0 +1,232 @@
+"""Property-based tests (hypothesis) for core data structures & invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.bitvector import decode_tag, encode_tag
+from repro.core.clock import clock_root, clock_sequence, make_clock
+from repro.core.splitter import Splitter
+from repro.simnet.engine import Simulator
+from repro.simnet.monitor import LatencyRecorder
+from repro.store.datastore import DatastoreInstance
+from repro.store.operations import default_registry
+from repro.store.protocol import OpRequest
+from repro.store.wal import WriteAheadLog
+from repro.store.store_recovery import recover_shared_key
+from repro.simnet.network import Link, Network
+from repro.traffic.packet import FiveTuple
+
+ids16 = st.integers(min_value=0, max_value=(1 << 16) - 1)
+
+
+class TestClockProperties:
+    @given(root=st.integers(0, 255), seq=st.integers(0, (1 << 56) - 1))
+    def test_clock_roundtrip(self, root, seq):
+        clock = make_clock(root, seq)
+        assert clock_root(clock) == root
+        assert clock_sequence(clock) == seq
+
+    @given(
+        a=st.tuples(st.integers(0, 255), st.integers(0, (1 << 56) - 1)),
+        b=st.tuples(st.integers(0, 255), st.integers(0, (1 << 56) - 1)),
+    )
+    def test_clock_injective(self, a, b):
+        if a != b:
+            assert make_clock(*a) != make_clock(*b)
+
+    @given(entity=ids16, obj=ids16)
+    def test_tag_roundtrip(self, entity, obj):
+        assert decode_tag(encode_tag(entity, obj)) == (entity, obj)
+
+
+five_tuples = st.builds(
+    FiveTuple,
+    src_ip=st.from_regex(r"10\.0\.[0-9]{1,2}\.[0-9]{1,2}", fullmatch=True),
+    dst_ip=st.from_regex(r"52\.0\.[0-9]{1,2}\.[0-9]{1,2}", fullmatch=True),
+    src_port=st.integers(1, 65535),
+    dst_port=st.integers(1, 65535),
+    proto=st.sampled_from([6, 17]),
+)
+
+
+class TestFiveTupleProperties:
+    @given(ft=five_tuples)
+    def test_canonical_idempotent(self, ft):
+        assert ft.canonical().canonical() == ft.canonical()
+
+    @given(ft=five_tuples)
+    def test_canonical_direction_independent(self, ft):
+        assert ft.canonical() == ft.reversed().canonical()
+
+    @given(ft=five_tuples)
+    def test_double_reverse_is_identity(self, ft):
+        assert ft.reversed().reversed() == ft
+
+
+class TestSplitterProperties:
+    @given(ft=five_tuples, n=st.integers(1, 8))
+    def test_both_directions_colocated(self, ft, n):
+        from repro.traffic.packet import Packet
+
+        splitter = Splitter("v", [f"v-{i}" for i in range(n)])
+        fwd = splitter.route(Packet(ft))
+        rev = splitter.route(Packet(ft.reversed()))
+        assert fwd == rev
+
+    @given(ft=five_tuples)
+    def test_route_stable(self, ft):
+        from repro.traffic.packet import Packet
+
+        splitter = Splitter("v", ["v-0", "v-1", "v-2"])
+        assert splitter.route(Packet(ft)) == splitter.route(Packet(ft))
+
+
+class TestOperationProperties:
+    @given(start=st.integers(-1000, 1000), deltas=st.lists(st.integers(-50, 50), max_size=30))
+    def test_incr_sums(self, start, deltas):
+        registry = default_registry()
+        value = start
+        for delta in deltas:
+            value, _ = registry.apply("incr", value, (delta,))
+        assert value == start + sum(deltas)
+
+    @given(items=st.lists(st.integers(), max_size=30))
+    def test_push_pop_fifo(self, items):
+        registry = default_registry()
+        value = None
+        for item in items:
+            value, _ = registry.apply("push", value, (item,))
+        popped = []
+        for _ in items:
+            value, out = registry.apply("pop", value, ())
+            popped.append(out)
+        assert popped == items
+        if items:
+            assert value == []
+
+    @given(items=st.lists(st.integers(), max_size=30))
+    def test_ops_never_mutate_inputs(self, items):
+        registry = default_registry()
+        original = list(items)
+        registry.apply("push", items, (99,))
+        registry.apply("pop", items, ())
+        assert items == original
+
+
+class TestStoreSerializationProperty:
+    @given(
+        per_client=st.lists(st.integers(1, 15), min_size=1, max_size=4),
+        interleave_seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_concurrent_increments_never_lost(self, per_client, interleave_seed):
+        """N clients issue increments concurrently; the serialized total is
+        exact regardless of interleaving (Theorem B.1.1's consistency)."""
+        sim = Simulator()
+        network = Network(sim, Link(latency_us=1.0 + (interleave_seed % 7)), seed=interleave_seed)
+        store = DatastoreInstance(sim, network, "store0")
+        from repro.simnet.rpc import RpcEndpoint
+
+        def client_proc(endpoint, count, stagger):
+            def body():
+                yield sim.timeout(stagger)
+                for index in range(count):
+                    yield endpoint.call_event(
+                        "store0",
+                        OpRequest(
+                            key="k",
+                            op="incr",
+                            args=(1,),
+                            instance=endpoint.name,
+                            blocking=(index % 2 == 0),
+                        ),
+                    )
+
+            return body
+
+        for index, count in enumerate(per_client):
+            endpoint = RpcEndpoint(sim, network, f"c{index}")
+            sim.process(client_proc(endpoint, count, index * 0.37)())
+        sim.run()
+        assert store.peek("k") == sum(per_client)
+
+
+class TestDuplicateSuppressionProperty:
+    @given(
+        ops=st.lists(st.tuples(st.integers(1, 20), st.integers(0, 2)), min_size=1, max_size=40),
+        replays=st.integers(1, 3),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_replay_is_idempotent(self, ops, replays):
+        """Applying any (clock, seq) op stream once, then replaying any
+        prefix any number of times, never changes the final value."""
+        sim = Simulator()
+        network = Network(sim, Link(latency_us=1.0), seed=1)
+        store = DatastoreInstance(sim, network, "store0")
+        # dedupe op list to unique (clock, seq) identities, as a real
+        # packet stream would be
+        identities = sorted(set(ops))
+        from repro.simnet.rpc import RpcEndpoint
+
+        endpoint = RpcEndpoint(sim, network, "c0")
+
+        def body():
+            for clock, seq in identities:
+                yield endpoint.call_event(
+                    "store0",
+                    OpRequest(key="k", op="incr", args=(1,), instance="c0",
+                              clock=clock, seq=seq),
+                )
+            for _ in range(replays):
+                for clock, seq in identities:
+                    yield endpoint.call_event(
+                        "store0",
+                        OpRequest(key="k", op="incr", args=(1,), instance="rep",
+                                  clock=clock, seq=seq),
+                    )
+
+        sim.run_process(body())
+        assert store.peek("k") == len(identities)
+
+
+class TestRecoveryProperty:
+    @given(
+        clocks_per_instance=st.lists(
+            st.lists(st.integers(1, 500), min_size=1, max_size=15, unique=True),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_case1_recovery_equals_direct_application(self, clocks_per_instance):
+        """With no reads, re-execution from an empty checkpoint always
+        rebuilds the same commutative-op total (Theorem B.5.2)."""
+        wals = {}
+        total = 0
+        for index, clocks in enumerate(clocks_per_instance):
+            wal = WriteAheadLog(f"i{index}")
+            for order, clock in enumerate(sorted(clocks)):
+                wal.log_update(clock, "k", "incr", (clock,), at=float(order))
+                total += clock
+            wals[f"i{index}"] = wal
+        outcome = recover_shared_key("k", None, wals, default_registry())
+        assert outcome.value == total
+        assert outcome.case == 1
+
+
+class TestRecorderProperties:
+    @given(values=st.lists(st.floats(0.1, 1e6), min_size=1, max_size=200))
+    def test_percentiles_within_range(self, values):
+        recorder = LatencyRecorder()
+        for value in values:
+            recorder.record(value)
+        summary = recorder.summary()
+        assert min(values) <= summary[50.0] <= max(values)
+        assert summary[5.0] <= summary[95.0]
+
+    @given(values=st.lists(st.floats(0.1, 1e6), min_size=2, max_size=100))
+    def test_cdf_reaches_one(self, values):
+        recorder = LatencyRecorder()
+        for value in values:
+            recorder.record(value)
+        cdf = recorder.cdf()
+        assert cdf[-1][1] == 1.0

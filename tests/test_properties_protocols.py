@@ -1,0 +1,110 @@
+"""Property-based tests of the chain-level protocols.
+
+These throw randomized schedules at the two hardest protocols and assert
+their paper-stated invariants:
+
+* **handover** (R2): any sequence of flow moves between instances, at any
+  times during a run, is loss-free and order-preserving;
+* **failover** (R6): a crash at any point in the run recovers to exactly
+  the no-failure state (COE).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chain_runtime import ChainRuntime
+from repro.core.dag import LogicalChain
+from repro.core.handover import move_flows
+from repro.core.recovery import fail_over_nf
+from repro.simnet.engine import Simulator
+from repro.store.keys import StateKey
+from tests.conftest import make_packet
+from tests.test_cloning import SinkCounterNF, SlowCounterNF
+from tests.test_handover import FlowCounterNF, flow_packet
+
+N_FLOWS = 4
+ROUNDS = 25
+
+
+class TestRandomMoveSchedules:
+    @given(
+        moves=st.lists(
+            st.tuples(
+                st.integers(1, ROUNDS - 2),   # after which round
+                st.integers(0, N_FLOWS - 1),  # which flow
+                st.integers(0, 1),            # to which instance
+            ),
+            min_size=1,
+            max_size=4,
+        ),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_any_move_schedule_is_loss_free(self, moves):
+        sim = Simulator()
+        FlowCounterNF.observed = []
+        chain = LogicalChain("prop-moves")
+        chain.add_vertex("fc", FlowCounterNF, parallelism=2, entry=True)
+        runtime = ChainRuntime(sim, chain)
+        splitter = runtime.splitter("fc")
+        schedule = {}
+        for after_round, flow, target in moves:
+            schedule.setdefault(after_round, []).append((flow, f"fc-{target}"))
+
+        def source():
+            for round_ in range(ROUNDS):
+                for flow in range(N_FLOWS):
+                    runtime.inject(flow_packet(flow, 1000 + flow))
+                    yield sim.timeout(2.0)
+                for flow, target in schedule.get(round_, []):
+                    key = splitter.key_of(flow_packet(flow, 1000 + flow))
+                    sim.process(move_flows(runtime, "fc", [key], target))
+
+        sim.process(source())
+        sim.run(until=60_000_000)
+
+        # loss-freeness: every flow's count is exact
+        store = runtime.stores[0]
+        for flow in range(N_FLOWS):
+            keys = [k for k in store.keys() if f"|{1000 + flow}|" in k]
+            assert keys and store.peek(keys[0]) == ROUNDS, f"flow {flow} lost updates"
+        # order preservation: per-flow processing follows clock order
+        per_flow = {}
+        for flow_key, clock in FlowCounterNF.observed:
+            per_flow.setdefault(flow_key, []).append(clock)
+        for clocks in per_flow.values():
+            assert clocks == sorted(clocks)
+        # and every packet's log entry eventually cleared
+        assert len(runtime.root.log) == 0
+
+
+class TestRandomCrashPoints:
+    @given(crash_after=st.integers(2, 45))
+    @settings(max_examples=12, deadline=None)
+    def test_failover_reaches_no_failure_state_from_any_crash_point(self, crash_after):
+        n_packets = 50
+
+        def run(crash):
+            sim = Simulator()
+            chain = LogicalChain("prop-crash")
+            chain.add_vertex("slow", SlowCounterNF, entry=True)
+            chain.add_vertex("sink", SinkCounterNF)
+            chain.add_edge("slow", "sink")
+            runtime = ChainRuntime(sim, chain)
+
+            def source():
+                for index in range(n_packets):
+                    runtime.inject(make_packet(sport=1000 + (index % 3)))
+                    yield sim.timeout(3.0)
+                    if crash is not None and index == crash:
+                        runtime.instances["slow-0"].fail()
+                        sim.process(fail_over_nf(runtime, "slow-0"))
+
+            sim.process(source())
+            sim.run(until=60_000_000)
+
+            def peek(vertex, obj):
+                key = StateKey(vertex, obj).storage_key()
+                return runtime.store.instance_for_key(key).peek(key)
+
+            return peek("slow", "total"), peek("sink", "seen")
+
+        assert run(crash_after) == run(None) == (n_packets, n_packets)

@@ -1,0 +1,158 @@
+"""Vertex managers and operator-supplied logic (§3)."""
+
+import random
+
+import pytest
+
+from repro.core.chain_runtime import ChainRuntime
+from repro.core.cloning import CloneController
+from repro.core.dag import LogicalChain
+from repro.core.vertex_manager import (
+    InstanceReport,
+    VertexManager,
+    default_scaling_logic,
+    default_straggler_logic,
+)
+from repro.simnet.engine import Simulator
+from tests.conftest import make_packet
+from tests.test_cloning import SlowCounterNF
+
+
+def report(instance_id, queue=0, processed=0, delta=0, latency=None):
+    return InstanceReport(
+        instance_id=instance_id,
+        queue_depth=queue,
+        processed=processed,
+        processed_delta=delta,
+        mean_latency_us=latency,
+    )
+
+
+class TestDefaultLogic:
+    def test_straggler_detected_when_much_slower(self):
+        logic = default_straggler_logic(threshold=0.5)
+        reports = [report("a", delta=100), report("b", delta=30)]
+        assert logic(reports) == "b"
+
+    def test_no_straggler_when_balanced(self):
+        logic = default_straggler_logic(threshold=0.5)
+        reports = [report("a", delta=100), report("b", delta=80)]
+        assert logic(reports) is None
+
+    def test_single_instance_never_a_straggler(self):
+        logic = default_straggler_logic()
+        assert logic([report("a", delta=1)]) is None
+
+    def test_idle_vertex_not_flagged(self):
+        logic = default_straggler_logic()
+        assert logic([report("a"), report("b")]) is None
+
+    def test_scaling_triggers_on_backlog(self):
+        logic = default_scaling_logic(queue_threshold=100)
+        assert logic([report("a", queue=80), report("b", queue=50)]) is not None
+        assert logic([report("a", queue=10)]) is None
+
+
+class TestManagerLoop:
+    def test_periodic_snapshots_and_deltas(self, sim):
+        chain = LogicalChain("vm")
+        chain.add_vertex("slow", SlowCounterNF, entry=True)
+        runtime = ChainRuntime(sim, chain)
+        manager = VertexManager(
+            sim, "slow", instances_fn=lambda: runtime.instances_of("slow"),
+            interval_us=50.0,
+        )
+
+        def source():
+            for index in range(40):
+                runtime.inject(make_packet(sport=1000 + index))
+                yield sim.timeout(10.0)
+
+        sim.process(source())
+        sim.run(until=500.0)
+        manager.stop()
+        assert len(manager.history) >= 5
+        total_delta = sum(r.processed_delta for snap in manager.history for r in snap)
+        assert total_delta > 0
+
+    def test_straggler_handler_invoked(self, sim):
+        chain = LogicalChain("vm")
+        chain.add_vertex("slow", SlowCounterNF, parallelism=2, entry=True)
+        runtime = ChainRuntime(sim, chain)
+        rng = random.Random(1)
+        runtime.instances["slow-1"].extra_delay = lambda: 25.0 + rng.random() * 5
+        detections = []
+        manager = VertexManager(
+            sim, "slow", instances_fn=lambda: runtime.instances_of("slow"),
+            interval_us=300.0,
+            straggler_logic=default_straggler_logic(threshold=0.5),
+        )
+        manager.on_straggler.append(detections.append)
+
+        def source():
+            for index in range(600):
+                runtime.inject(make_packet(sport=1000 + (index % 16)))
+                yield sim.timeout(2.0)
+
+        sim.process(source())
+        sim.run(until=60_000_000)
+        manager.stop()
+        assert "slow-1" in detections
+
+
+class TestEndToEndAutomation:
+    def test_manager_driven_straggler_mitigation(self, sim):
+        """§3's full loop: the vertex manager's statistics feed the
+        operator's straggler logic; a detection launches §5.3 mitigation."""
+        chain = LogicalChain("auto")
+        chain.add_vertex("slow", SlowCounterNF, parallelism=2, entry=True)
+        runtime = ChainRuntime(sim, chain)
+        rng = random.Random(2)
+        runtime.instances["slow-0"].extra_delay = lambda: 25.0 + rng.random() * 5
+        controller = CloneController(runtime)
+        sessions = []
+
+        def on_straggler(instance_id):
+            if sessions:  # one mitigation at a time
+                return
+
+            def mitigate():
+                session = yield from controller.mitigate(instance_id)
+                sessions.append(session)
+
+            sim.process(mitigate())
+
+        manager = VertexManager(
+            sim, "slow", instances_fn=lambda: runtime.instances_of("slow"),
+            interval_us=300.0,
+            straggler_logic=default_straggler_logic(threshold=0.5),
+        )
+        manager.on_straggler.append(on_straggler)
+
+        n_packets = 800
+
+        def source():
+            for index in range(n_packets):
+                runtime.inject(make_packet(sport=1000 + (index % 16)))
+                yield sim.timeout(2.0)
+
+        sim.process(source())
+        sim.run(until=10_000_000)
+
+        assert sessions, "manager never triggered mitigation"
+        session = sessions[0]
+        assert session.straggler_id == "slow-0"
+
+        def resolve():
+            yield from controller.retain(session, controller.pick_faster(session))
+
+        sim.run_process(resolve())
+        sim.run(until=60_000_000)
+        manager.stop()
+        # the clone (same CPU cost, no contention) wins...
+        assert session.resolved == session.clone_id
+        # ...and nothing was lost or duplicated along the way
+        from repro.store.keys import StateKey
+
+        key = StateKey("slow", "total").storage_key()
+        assert runtime.store.instance_for_key(key).peek(key) == n_packets
