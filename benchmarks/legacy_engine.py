@@ -1,38 +1,19 @@
-"""Generator-based discrete-event simulation engine.
+"""Faithful copy of the PRE-OVERHAUL simulation engine (the repo seed).
 
-The engine is deliberately small (a SimPy-flavoured core) but complete enough
-to model the CHC dataplane: processes are Python generators that ``yield``
-:class:`Event` objects; the simulator resumes them when the event fires.
+This module exists solely as the baseline for ``bench_engine_micro.py`` /
+``tools/perf_report.py``: the hot-path overhaul replaced the O(n)
+``list.pop(0)`` channels and the heap-only zero-delay scheduling, and the
+perf harness proves the win by running the same microbenchmarks against
+this snapshot. Do NOT use it for anything else, and do not "fix" it — its
+inefficiencies are the point.
 
-Time is a ``float`` in **microseconds**. All ordering is deterministic: every
-scheduled callback is keyed by ``(time, sequence_number)`` so two events
-scheduled for the same instant fire in scheduling order, and no wall-clock or
-unseeded randomness is consulted anywhere.
-
-Hot-path design (see DESIGN.md "Engine performance model"):
-
-* Zero-delay work — event callback delivery, process resumption, interrupts —
-  goes onto a **microtask FIFO** (a ``deque``) instead of the time heap. A
-  microtask's key is ``(now, seq)``, exactly what the heap would have used,
-  and the run loop interleaves the two queues by that key, so the observable
-  event order is bit-for-bit identical to a single-heap engine (the
-  determinism regression test in ``tests/test_engine_hotpath.py`` proves it
-  against a reference implementation).
-* :class:`Channel` stores items and parked getters in ``deque``s: ``put`` /
-  ``get`` / ``put_front`` are O(1) where the seed engine paid O(n) per packet
-  for ``list.pop(0)`` / ``insert(0)``.
-* Every engine object declares ``__slots__``, and the run loops bind heap
-  ops and queue methods to locals.
-
-The simulator exposes cheap counters (``events_processed``,
-``microtasks_processed``, ``heap_peak``; channels track ``depth_peak``)
-surfaced through :mod:`repro.simnet.monitor` for perf harnesses.
+Snapshot of ``src/repro/simnet/engine.py`` as of the seed commit, verbatim
+below the original docstring.
 """
 
 from __future__ import annotations
 
 import heapq
-from collections import deque
 from typing import Any, Callable, Generator, Iterable, List, Optional
 
 
@@ -64,10 +45,7 @@ class Event:
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
-        # Lazily created on first add_callback: most events (channel gets,
-        # timeouts with a single waiter) carry 0–1 callbacks, and the empty
-        # list showed up in hot-path allocation profiles.
-        self.callbacks: Optional[List[Callable[["Event"], None]]] = None
+        self.callbacks: List[Callable[["Event"], None]] = []
         self._triggered = False
         self._ok = True
         self._value: Any = None
@@ -107,32 +85,16 @@ class Event:
         return self
 
     def _schedule_callbacks(self) -> None:
-        callbacks = self.callbacks
-        if not callbacks:
-            return
-        self.callbacks = None
-        call_soon = self.sim.call_soon
+        callbacks, self.callbacks = self.callbacks, []
         for callback in callbacks:
-            call_soon(callback, self)
+            self.sim.schedule(0.0, callback, self)
 
     def add_callback(self, callback: Callable[["Event"], None]) -> None:
         """Run ``callback(event)`` once the event triggers (possibly now)."""
         if self._triggered:
-            self.sim.call_soon(callback, self)
-        elif self.callbacks is None:
-            self.callbacks = [callback]
+            self.sim.schedule(0.0, callback, self)
         else:
             self.callbacks.append(callback)
-
-    def remove_callback(self, callback: Callable[["Event"], None]) -> bool:
-        """Detach a not-yet-delivered callback; returns whether it was found."""
-        if not self.callbacks:
-            return False
-        try:
-            self.callbacks.remove(callback)
-            return True
-        except ValueError:
-            return False
 
 
 class Timeout(Event):
@@ -143,9 +105,7 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None):
         if delay < 0:
             raise SimulationError(f"negative timeout delay {delay}")
-        # A static name: timeouts are created per packet per hop, and the
-        # formatted name was a measurable share of hot-path allocation.
-        super().__init__(sim, name="timeout")
+        super().__init__(sim, name=f"timeout({delay})")
         sim.schedule(delay, self._fire, value)
 
     def _fire(self, value: Any) -> None:
@@ -157,29 +117,18 @@ class AnyOf(Event):
 
     The value is a ``(event, value)`` pair identifying which event won. A
     failed child event fails the :class:`AnyOf` with the child's exception.
-
-    When the first child fires, the :class:`AnyOf` detaches its callback from
-    every still-pending child, so losers no longer hold a reference to (or
-    fire into) the triggered parent — e.g. the RPC retransmission path races
-    a response against a timer per attempt, and the losing event of each
-    race must not accumulate stale callbacks.
     """
 
-    __slots__ = ("_children",)
+    __slots__ = ()
 
     def __init__(self, sim: "Simulator", events: Iterable[Event]):
         super().__init__(sim, name="any_of")
-        self._children: tuple = tuple(events)
-        for event in self._children:
+        for event in events:
             event.add_callback(self._on_child)
 
     def _on_child(self, event: Event) -> None:
         if self._triggered:
             return
-        children, self._children = self._children, ()
-        for child in children:
-            if child is not event and not child._triggered:
-                child.remove_callback(self._on_child)
         if event.ok:
             self.succeed((event, event.value))
         else:
@@ -232,7 +181,7 @@ class Process(Event):
         self._generator = generator
         self._alive = True
         self._waiting_on: Optional[Event] = None
-        sim.call_soon(self._step, None, None)
+        sim.schedule(0.0, self._step, None, None)
 
     @property
     def alive(self) -> bool:
@@ -252,16 +201,16 @@ class Process(Event):
         """Raise :class:`Interrupt` inside the process at its wait point."""
         if not self._alive:
             return
-        self.sim.call_soon(self._step, None, Interrupt(cause))
+        self.sim.schedule(0.0, self._step, None, Interrupt(cause))
 
     def _resume(self, event: Event) -> None:
         if not self._alive or event is not self._waiting_on:
             return  # stale wake-up (process was killed or interrupted)
         self._waiting_on = None
-        if event._ok:
-            self._step(event._value, None)
+        if event.ok:
+            self._step(event.value, None)
         else:
-            self._step(None, event._value)
+            self._step(None, event.value)
 
     def _step(self, value: Any, exc: Optional[BaseException]) -> None:
         if not self._alive:
@@ -304,52 +253,37 @@ class Channel:
     duplicate messages before they are consumed (§5.3) — via
     :meth:`remove_if`, and inspect depth via :func:`len` (used by straggler
     detection logic).
-
-    Items and parked getters live in ``deque``s, so every queue operation on
-    the packet path is O(1). ``depth_peak`` records the high-water mark of
-    the queue (a free byproduct of ``put`` useful for perf forensics).
     """
-
-    __slots__ = ("sim", "name", "_items", "_getters", "depth_peak")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
-        self._items: deque = deque()
-        self._getters: deque = deque()
-        self.depth_peak = 0
+        self._items: List[Any] = []
+        self._getters: List[Event] = []
 
     def __len__(self) -> int:
         return len(self._items)
 
     def put(self, item: Any) -> None:
         """Enqueue ``item``; wakes one waiting getter if any."""
-        items = self._items
-        items.append(item)
-        if self._getters:
-            self._dispatch()
-        elif len(items) > self.depth_peak:
-            self.depth_peak = len(items)
+        self._items.append(item)
+        self._dispatch()
 
     def put_front(self, item: Any) -> None:
         """Enqueue ``item`` at the head (used when re-queuing after replay)."""
-        self._items.appendleft(item)
-        if self._getters:
-            self._dispatch()
-        elif len(self._items) > self.depth_peak:
-            self.depth_peak = len(self._items)
+        self._items.insert(0, item)
+        self._dispatch()
 
     def _dispatch(self) -> None:
-        getters, items = self._getters, self._items
-        while getters and items:
-            getters.popleft().succeed(items.popleft())
+        while self._getters and self._items:
+            getter = self._getters.pop(0)
+            getter.succeed(self._items.pop(0))
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
-        event = Event(self.sim, name=self.name)
-        items = self._items
-        if items:
-            event.succeed(items.popleft())
+        event = Event(self.sim, name=f"get({self.name})")
+        if self._items:
+            event.succeed(self._items.pop(0))
         else:
             self._getters.append(event)
         return event
@@ -357,7 +291,7 @@ class Channel:
     def try_get(self) -> Any:
         """Dequeue immediately, or return ``None`` if empty."""
         if self._items:
-            return self._items.popleft()
+            return self._items.pop(0)
         return None
 
     def items(self) -> List[Any]:
@@ -367,53 +301,26 @@ class Channel:
     def remove_if(self, predicate: Callable[[Any], bool]) -> int:
         """Delete queued items matching ``predicate``; returns count removed."""
         before = len(self._items)
-        self._items = deque(item for item in self._items if not predicate(item))
+        self._items = [item for item in self._items if not predicate(item)]
         return before - len(self._items)
 
     def clear(self) -> int:
         removed = len(self._items)
-        self._items.clear()
+        self._items = []
         return removed
 
 
 class Simulator:
     """The discrete event loop.
 
-    ``now`` is virtual time in microseconds. Determinism: every callback is
-    keyed by ``(time, seq)`` where ``seq`` is a monotone counter shared by
-    the time heap and the microtask FIFO, and the run loop always executes
-    the smallest key next.
-
-    Invariants the microtask fast-path relies on:
-
-    * heap entries never lie in the past (``time >= now`` whenever the loop
-      is choosing what to run), and
-    * a microtask's due time is the ``now`` at which it was enqueued, and the
-      loop never advances ``now`` while a microtask is pending — so a
-      pending microtask is always due exactly at ``now``.
-
-    Hence the next callback is the microtask head unless the heap head is due
-    at ``now`` with a smaller ``seq`` (scheduled earlier at this instant).
+    ``now`` is virtual time in microseconds. Determinism: the heap is keyed
+    by ``(time, seq)`` where ``seq`` is a monotone counter.
     """
-
-    __slots__ = (
-        "_now",
-        "_heap",
-        "_micro",
-        "_seq",
-        "events_processed",
-        "microtasks_processed",
-        "heap_peak",
-    )
 
     def __init__(self):
         self._now = 0.0
         self._heap: List[tuple] = []
-        self._micro: deque = deque()
         self._seq = 0
-        self.events_processed = 0
-        self.microtasks_processed = 0
-        self.heap_peak = 0
 
     @property
     def now(self) -> float:
@@ -421,29 +328,10 @@ class Simulator:
 
     def schedule(self, delay: float, callback: Callable, *args: Any) -> None:
         """Run ``callback(*args)`` after ``delay`` microseconds."""
-        seq = self._seq
-        self._seq = seq + 1
-        if delay == 0.0:
-            self._micro.append((seq, callback, args))
-            return
         if delay < 0:
-            self._seq = seq
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        heap = self._heap
-        heapq.heappush(heap, (self._now + delay, seq, callback, args))
-        if len(heap) > self.heap_peak:
-            self.heap_peak = len(heap)
-
-    def call_soon(self, callback: Callable, *args: Any) -> None:
-        """Enqueue ``callback(*args)`` to run at the current instant.
-
-        Equivalent to ``schedule(0.0, ...)`` minus the delay checks — this is
-        the microtask fast-path used by event callback delivery and process
-        resumption.
-        """
-        seq = self._seq
-        self._seq = seq + 1
-        self._micro.append((seq, callback, args))
+        heapq.heappush(self._heap, (self._now + delay, self._seq, callback, args))
+        self._seq += 1
 
     def event(self, name: str = "") -> Event:
         return Event(self, name=name)
@@ -462,41 +350,23 @@ class Simulator:
         return Process(self, generator, name=name)
 
     def run(self, until: Optional[float] = None, max_events: int = 200_000_000) -> float:
-        """Run until both queues drain or ``until`` (µs) is reached.
+        """Run until the heap drains or ``until`` (µs) is reached.
 
         Returns the simulation time when the run stopped. ``max_events`` is a
         runaway-loop backstop, not a tuning knob.
         """
-        heap = self._heap
-        micro = self._micro
-        heappop = heapq.heappop
-        popleft = micro.popleft
         count = 0
-        micro_count = 0
-        now = self._now  # mirror of self._now; only this loop advances it
-        try:
-            while heap or micro:
-                if micro and (
-                    not heap or heap[0][0] > now or heap[0][1] > micro[0][0]
-                ):
-                    _seq, callback, args = popleft()
-                    micro_count += 1
-                else:
-                    time = heap[0][0]
-                    if until is not None and time > until:
-                        self._now = until
-                        return until
-                    _time, _seq, callback, args = heappop(heap)
-                    now = self._now = time
-                callback(*args)
-                count += 1
-                if count > max_events:
-                    raise SimulationError(
-                        f"exceeded {max_events} events; runaway simulation?"
-                    )
-        finally:
-            self.events_processed += count
-            self.microtasks_processed += micro_count
+        while self._heap:
+            time, _seq, callback, args = self._heap[0]
+            if until is not None and time > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = time
+            callback(*args)
+            count += 1
+            if count > max_events:
+                raise SimulationError(f"exceeded {max_events} events; runaway simulation?")
         if until is not None and until > self._now:
             self._now = until
         return self._now
@@ -509,32 +379,16 @@ class Simulator:
         non-empty forever and must not keep this call spinning.
         """
         proc = self.process(generator, name=name)
-        heap = self._heap
-        micro = self._micro
-        heappop = heapq.heappop
-        popleft = micro.popleft
         count = 0
-        micro_count = 0
-        now = self._now
-        try:
-            while (heap or micro) and not proc._triggered:
-                if micro and (
-                    not heap or heap[0][0] > now or heap[0][1] > micro[0][0]
-                ):
-                    _seq, callback, args = popleft()
-                    micro_count += 1
-                else:
-                    time, _seq, callback, args = heappop(heap)
-                    now = self._now = time
-                callback(*args)
-                count += 1
-                if count > 200_000_000:
-                    raise SimulationError("run_process exceeded event budget")
-        finally:
-            self.events_processed += count
-            self.microtasks_processed += micro_count
-        if not proc._triggered:
+        while self._heap and not proc.triggered:
+            time, _seq, callback, args = heapq.heappop(self._heap)
+            self._now = time
+            callback(*args)
+            count += 1
+            if count > 200_000_000:
+                raise SimulationError("run_process exceeded event budget")
+        if not proc.triggered:
             raise SimulationError(f"process {proc.name!r} never completed (deadlock?)")
-        if not proc._ok:
-            raise proc._value
-        return proc._value
+        if not proc.ok:
+            raise proc.value
+        return proc.value

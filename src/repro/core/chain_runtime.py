@@ -39,7 +39,12 @@ from repro.core.root import DeleteRequest, Root
 from repro.core.splitter import FIVE_TUPLE, MoveMarker, Splitter
 from repro.core.vertex_manager import VertexManager
 from repro.simnet.engine import Channel, Event, Simulator
-from repro.simnet.monitor import LatencyRecorder, ThroughputMeter
+from repro.simnet.monitor import (
+    LatencyRecorder,
+    ThroughputMeter,
+    channel_depth_peaks,
+    engine_counters,
+)
 from repro.simnet.network import Link, Network
 from repro.simnet.nic import Nic
 from repro.store.client import StoreClient
@@ -183,6 +188,10 @@ class ChainRuntime:
         self.egress_meter = ThroughputMeter(name="chain-egress")
         self.duplicates_suppressed = 0
         self._move_events: Dict[Tuple[str, Tuple], Event] = {}
+        # (vertex) -> {(partition fields, scope key) -> completion event} for
+        # moves whose ownership transfer has not landed yet; move_flows
+        # serialises against overlapping entries (see moves_in_flight).
+        self._inflight_moves: Dict[str, Dict[Tuple, Event]] = {}
 
         self._apply_exclusivity()
         if start_managers:
@@ -551,6 +560,34 @@ class ChainRuntime:
             dup_filter.forget(clock)
 
     # ------------------------------------------------------------------
+    # engine performance forensics
+    # ------------------------------------------------------------------
+
+    def engine_report(self) -> Dict[str, Any]:
+        """Engine counters plus per-component queue high-water marks.
+
+        Experiments attach this to their results to explain wall-clock
+        behaviour: events processed, the microtask share (work that skipped
+        the timer heap), the heap peak, and where queueing built up.
+        """
+        report: Dict[str, Any] = engine_counters(self.sim).as_dict()
+        channels: Dict[str, Channel] = {"egress": self.egress}
+        for instance_id, instance in self.instances.items():
+            channels[f"{instance_id}.input"] = instance.input
+        report["channel_depth_peaks"] = channel_depth_peaks(channels)
+        report["instance_queue_peaks"] = {
+            instance_id: instance.queue_depth_peak
+            for instance_id, instance in self.instances.items()
+            if instance.queue_depth_peak
+        }
+        report["nic_txq_peaks"] = {
+            instance_id: nic.txq_depth_peak
+            for instance_id, nic in self.nics.items()
+            if nic.txq_depth_peak
+        }
+        return report
+
+    # ------------------------------------------------------------------
     # handover rendezvous (Figure 4; used by NFInstance and handover.py)
     # ------------------------------------------------------------------
 
@@ -561,6 +598,38 @@ class ChainRuntime:
             event = self.sim.event(name=f"move({vertex_name},#{marker.move_id})")
             self._move_events[key] = event
         return event
+
+    def moves_in_flight(self, vertex_name: str, fields, scope_keys) -> List[Event]:
+        """Completion events of pending moves that conflict with a new move.
+
+        A conflict is a pending move of the *same* scope key, or any pending
+        move recorded under different partition fields (after a §4.1 scope
+        refinement the keys are incomparable, so be conservative). Starting
+        an overlapping move before the prior transfer lands would consult
+        stale routing: the prior move's target is named old-holder before it
+        actually owns anything, its release covers no keys, and the flow's
+        updates are rejected by the store's ownership check from then on.
+        Triggered entries are pruned as a side effect.
+        """
+        table = self._inflight_moves.get(vertex_name)
+        if not table:
+            return []
+        waits: List[Event] = []
+        wanted = set(scope_keys)
+        for (entry_fields, scope_key), event in list(table.items()):
+            if event.triggered:
+                del table[(entry_fields, scope_key)]
+                continue
+            if entry_fields != fields or scope_key in wanted:
+                if event not in waits:
+                    waits.append(event)
+        return waits
+
+    def note_move_started(self, vertex_name: str, marker: MoveMarker, event: Event) -> None:
+        """Record an issued move so later overlapping moves wait for it."""
+        table = self._inflight_moves.setdefault(vertex_name, {})
+        for scope_key in marker.scope_keys:
+            table[(marker.fields, scope_key)] = event
 
     @staticmethod
     def _project(flow_key: Tuple, fields: Tuple[str, ...]) -> Optional[Tuple]:
@@ -577,20 +646,32 @@ class ChainRuntime:
 
     def release_moved_state(self, instance: NFInstance, marker: MoveMarker) -> Generator:
         """Old-instance side of Figure 4 step 5: hand matching per-flow keys
-        to the new instance in one bulk metadata update."""
-        moved_keys = [
-            storage_key
-            for storage_key, (_obj, flow_key) in instance.client.owned_items().items()
+        to the new instance in one bulk metadata update.
+
+        The new instance's client *adopts* the released keys (ownership
+        metadata only, no values — its cache stays cold): the store names it
+        owner from this transfer on, and a later move of the same flows must
+        find these keys in its ``owned_items`` even if no packet of the
+        moved flows arrives in between.
+        """
+        moved = [
+            (storage_key, obj_name, flow_key)
+            for storage_key, (obj_name, flow_key) in instance.client.owned_items().items()
             if flow_key is not None
             and self._project(flow_key, marker.fields) in marker.scope_keys
         ]
         notify_key = self._move_notify_key(instance.vertex_name, marker)
         yield from instance.client.release_keys_bulk(
-            moved_keys, marker.new_instance, notify_key
+            [storage_key for storage_key, _obj, _fk in moved],
+            marker.new_instance,
+            notify_key,
         )
+        target = self.instances.get(marker.new_instance)
+        if target is not None and target.alive:
+            target.client.adopt_keys(moved)
         event = self.move_event(instance.vertex_name, marker)
         if not event.triggered:
-            event.succeed(len(moved_keys))
+            event.succeed(moved)
 
     def moved_state_available(self, instance: NFInstance, marker: MoveMarker) -> Generator:
         """New-instance side of step 3: consult the store (one RTT for the

@@ -58,12 +58,27 @@ def move_flows(
     splitter = runtime.splitter(vertex_name)
     scope_keys = list(scope_keys)
     started_at = runtime.sim.now
+
+    # Serialise against in-flight moves of the same keys: until the prior
+    # move's ownership transfer lands, routing overrides name a holder that
+    # does not own anything yet, so a second move issued now would release
+    # no keys and strand the flow's state (loss). Overlap is re-checked
+    # after every wait — a move that completed while we slept may have been
+    # replaced by yet another conflicting one.
+    while True:
+        busy = runtime.moves_in_flight(vertex_name, splitter.partition_fields, scope_keys)
+        if not busy:
+            break
+        yield runtime.sim.all_of(busy)
+
     markers = splitter.begin_move(scope_keys, new_instance_id, current_of=current_of)
 
     events = []
     for control_packet in markers:
         marker = control_packet.control
-        events.append(runtime.move_event(vertex_name, marker))
+        event = runtime.move_event(vertex_name, marker)
+        runtime.note_move_started(vertex_name, marker, event)
+        events.append(event)
         # The marker travels the same path as data to the old instance.
         runtime.sim.schedule(
             runtime.params.hop_link_us,

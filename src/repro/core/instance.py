@@ -144,6 +144,15 @@ class NFInstance:
     def queue_depth(self) -> int:
         return len(self.input) + sum(len(q) for q in self._worker_queues)
 
+    @property
+    def queue_depth_peak(self) -> int:
+        """Highest depth any of this instance's queues ever reached."""
+        peak = self.input.depth_peak
+        for queue in self._worker_queues:
+            if queue.depth_peak > peak:
+                peak = queue.depth_peak
+        return peak
+
     def fail(self) -> None:
         """Fail-stop: internal state, queued and in-flight packets vanish."""
         if not self._alive:

@@ -3,15 +3,84 @@
 These produce the series the paper's figures plot: per-packet processing
 time percentiles (Figure 8), CDFs (Figures 11–12), time series of
 per-packet latency (Figures 9 and 13), and Gbps goodput (Figure 10).
+
+This module also surfaces the engine's hot-path counters (events processed,
+microtasks, heap peak, channel depth peaks) for the perf harness in
+``benchmarks/bench_engine_micro.py`` — see DESIGN.md "Engine performance
+model".
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
 PERCENTILES_FIG8 = (5, 25, 50, 75, 95)
+
+
+@dataclass
+class EngineCounters:
+    """A snapshot of the simulator's hot-path counters.
+
+    ``events_processed`` counts every executed callback (heap + microtask);
+    ``microtasks_processed`` is the subset that took the zero-delay FIFO
+    fast-path; ``heap_peak`` is the timer heap's high-water mark. The
+    microtask share is the fraction of work that skipped the O(log n) heap.
+    """
+
+    now: float
+    events_processed: int
+    microtasks_processed: int
+    heap_peak: int
+    heap_size: int
+
+    @property
+    def heap_events(self) -> int:
+        return self.events_processed - self.microtasks_processed
+
+    @property
+    def microtask_share(self) -> float:
+        if self.events_processed == 0:
+            return 0.0
+        return self.microtasks_processed / self.events_processed
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "now_us": self.now,
+            "events_processed": self.events_processed,
+            "microtasks_processed": self.microtasks_processed,
+            "heap_events": self.heap_events,
+            "microtask_share": round(self.microtask_share, 4),
+            "heap_peak": self.heap_peak,
+            "heap_size": self.heap_size,
+        }
+
+
+def engine_counters(sim) -> EngineCounters:
+    """Snapshot a :class:`~repro.simnet.engine.Simulator`'s counters."""
+    return EngineCounters(
+        now=sim.now,
+        events_processed=sim.events_processed,
+        microtasks_processed=sim.microtasks_processed,
+        heap_peak=sim.heap_peak,
+        heap_size=len(sim._heap),
+    )
+
+
+def channel_depth_peaks(channels: Mapping[str, object]) -> Dict[str, int]:
+    """``{name: depth_peak}`` for a mapping of named channels.
+
+    Channels that never queued anything (peak 0) are omitted — experiment
+    reports only care about where backpressure actually built up.
+    """
+    peaks = {}
+    for name, channel in channels.items():
+        peak = getattr(channel, "depth_peak", 0)
+        if peak:
+            peaks[name] = peak
+    return peaks
 
 
 def percentile(samples: Sequence[float], q: float) -> float:

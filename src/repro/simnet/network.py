@@ -38,14 +38,23 @@ class Link:
         return self.latency_us
 
 
-@dataclass
 class Envelope:
-    """A message in flight on the network."""
+    """A message in flight on the network.
 
-    src: str
-    dst: str
-    payload: Any
-    sent_at: float = 0.0
+    Slotted plain class: one envelope is allocated per message, making this
+    one of the hottest allocation sites in the simulator.
+    """
+
+    __slots__ = ("src", "dst", "payload", "sent_at")
+
+    def __init__(self, src: str, dst: str, payload: Any, sent_at: float = 0.0):
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.sent_at = sent_at
+
+    def __repr__(self) -> str:
+        return f"Envelope({self.src!r} -> {self.dst!r}, sent_at={self.sent_at})"
 
 
 class Network:
@@ -112,13 +121,14 @@ class Network:
 
     def send(self, src: str, dst: str, payload: Any) -> None:
         """Send ``payload`` from ``src`` to ``dst`` over the appropriate link."""
-        link = self.link_for(src, dst)
+        link = self._links.get((src, dst)) or self.default_link
         delay = link.delay(self.rng)
         if delay is None:
             self.dropped += 1
             return
-        envelope = Envelope(src=src, dst=dst, payload=payload, sent_at=self.sim.now)
-        self.sim.schedule(delay, self._deliver, envelope)
+        self.sim.schedule(
+            delay, self._deliver, Envelope(src, dst, payload, self.sim.now)
+        )
 
     def _deliver(self, envelope: Envelope) -> None:
         if envelope.dst in self._down:

@@ -45,6 +45,11 @@ class Nic:
         self._alive = True
         sim.process(self._drain(), name=f"{name}-drain")
 
+    @property
+    def txq_depth_peak(self) -> int:
+        """High-water mark of the transmit ring (perf forensics)."""
+        return self._queue.depth_peak
+
     def fail(self) -> None:
         self._alive = False
         self._queue.clear()

@@ -8,8 +8,7 @@ lives here so both the store client and the framework reuse it.
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
-from typing import Any, Dict, Generator, Optional
+from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.simnet.engine import Channel, Event, Simulator
 from repro.simnet.network import Envelope, Network
@@ -23,25 +22,47 @@ class RpcTimeout(RpcError):
     """A call exhausted its retries without receiving a response."""
 
 
-@dataclass
 class RpcRequest:
-    """An incoming request as seen by a server."""
+    """An incoming request as seen by a server.
 
-    request_id: int
-    src: str
-    dst: str
-    payload: Any
-    received_at: float = 0.0
+    A plain ``__slots__`` class rather than a dataclass: one is allocated
+    per request on the packet path, and slotted instances are both smaller
+    and faster to construct.
+    """
+
+    __slots__ = ("request_id", "src", "dst", "payload", "received_at")
+
+    def __init__(
+        self,
+        request_id: int,
+        src: str,
+        dst: str,
+        payload: Any,
+        received_at: float = 0.0,
+    ):
+        self.request_id = request_id
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.received_at = received_at
+
+    def __repr__(self) -> str:
+        return (
+            f"RpcRequest(request_id={self.request_id!r}, src={self.src!r}, "
+            f"dst={self.dst!r}, payload={self.payload!r})"
+        )
 
 
-@dataclass
 class _Wire:
-    """On-the-wire RPC frame."""
+    """On-the-wire RPC frame (slotted; one per message on the wire)."""
 
-    kind: str  # "request" | "response" | "oneway"
-    request_id: int
-    payload: Any
-    ok: bool = True
+    __slots__ = ("kind", "request_id", "payload", "ok")
+
+    def __init__(self, kind: str, request_id: int, payload: Any, ok: bool = True):
+        self.kind = kind  # "request" | "response" | "oneway"
+        self.request_id = request_id
+        self.payload = payload
+        self.ok = ok
 
 
 class RpcEndpoint:
@@ -106,7 +127,15 @@ class RpcEndpoint:
 
     def send(self, dst: str, payload: Any) -> None:
         """Fire a one-way message (no response expected)."""
-        self.network.send(self.name, dst, _Wire(kind="oneway", request_id=0, payload=payload))
+        self.network.send(self.name, dst, _Wire("oneway", 0, payload))
+
+    def _issue(self, dst: str, payload: Any) -> Tuple[int, Event]:
+        """Send one request frame; returns ``(request_id, waiter)``."""
+        request_id = next(self._ids)
+        waiter = self.sim.event(name="rpc")
+        self._pending[request_id] = waiter
+        self.network.send(self.name, dst, _Wire("request", request_id, payload))
+        return request_id, waiter
 
     def call_event(self, dst: str, payload: Any) -> Event:
         """Issue a request; returns the event that fires with the response.
@@ -114,11 +143,7 @@ class RpcEndpoint:
         No timeout handling — callers that need retransmission use
         :meth:`call`.
         """
-        request_id = next(self._ids)
-        waiter = self.sim.event(name=f"rpc({self.name}->{dst}#{request_id})")
-        self._pending[request_id] = waiter
-        self.network.send(self.name, dst, _Wire(kind="request", request_id=request_id, payload=payload))
-        return waiter
+        return self._issue(dst, payload)[1]
 
     def call(
         self,
@@ -131,10 +156,16 @@ class RpcEndpoint:
 
         Use as ``value = yield from endpoint.call(...)``. Raises
         :class:`RpcTimeout` after ``max_retries`` retransmissions time out.
+
+        A timed-out attempt leaves nothing behind: the stale waiter is
+        dropped from ``_pending`` by its remembered request id (O(1), where
+        the seed scanned the whole table), and the lost race's
+        :class:`~repro.simnet.engine.AnyOf` detaches from the loser, so a
+        late response for a retransmitted id is simply discarded.
         """
         attempts = max_retries + 1
         for attempt in range(attempts):
-            waiter = self.call_event(dst, payload)
+            request_id, waiter = self._issue(dst, payload)
             if timeout_us is None:
                 value = yield waiter
                 return value
@@ -143,15 +174,11 @@ class RpcEndpoint:
             if winner is waiter:
                 return value
             # timed out: forget the stale waiter and retransmit
-            for request_id, pending in list(self._pending.items()):
-                if pending is waiter:
-                    del self._pending[request_id]
+            self._pending.pop(request_id, None)
         raise RpcTimeout(f"{self.name} -> {dst}: no response after {attempts} attempts")
 
     def respond(self, request: RpcRequest, value: Any, ok: bool = True) -> None:
         """Answer ``request`` (server side)."""
         self.network.send(
-            self.name,
-            request.src,
-            _Wire(kind="response", request_id=request.request_id, payload=value, ok=ok),
+            self.name, request.src, _Wire("response", request.request_id, value, ok=ok)
         )

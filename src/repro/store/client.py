@@ -120,7 +120,7 @@ class StoreClient:
         self._owned: Dict[str, Tuple[str, Optional[Tuple]]] = {}
         self._exclusive: Dict[str, bool] = {}     # obj name -> split allows caching
         self._owner_waiters: Dict[str, List[Event]] = {}
-        self._pending_acks: Dict[int, Event] = {}
+        self._pending_acks: Dict[int, Tuple[Event, Any]] = {}  # ack_id -> (event, request)
         self._ack_seq = 0
 
         # default packet context (single-threaded callers / tests); worker
@@ -474,6 +474,26 @@ class StoreClient:
     def owned_items(self) -> Dict[str, Tuple[str, Optional[Tuple]]]:
         """storage_key -> (object name, flow key) for owned per-flow state."""
         return dict(self._owned)
+
+    def adopt_keys(self, items) -> int:
+        """Record ownership of keys handed over by a completed move.
+
+        ``items`` is an iterable of ``(storage_key, obj_name, flow_key)``
+        describing what the old instance's bulk release covered. The store
+        already names this instance the owner; recording it client-side is
+        what lets a *later* move re-release the keys even if this instance
+        never processed a packet of the moved flows in between (a flow moved
+        twice in quick succession must not strand its state). Values are not
+        adopted — the cache stays cold, so the first touch still seeds from
+        the store (§4.3).
+        """
+        owned = self._owned
+        adopted = 0
+        for storage_key, obj_name, flow_key in items:
+            if storage_key not in owned:
+                owned[storage_key] = (obj_name, flow_key)
+                adopted += 1
+        return adopted
 
     def release_keys_bulk(
         self, storage_keys: List[str], new_instance: str, notify_key: str

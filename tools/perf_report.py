@@ -1,0 +1,112 @@
+#!/usr/bin/env python
+"""Run the engine microbenchmarks and record ``BENCH_engine.json``.
+
+This is the perf trajectory artifact for the simulator overhaul: it runs
+every scenario in ``benchmarks/bench_engine_micro.py`` against both the
+current engine and the legacy (seed) snapshot, prints a table, and writes
+the machine-readable payload to ``BENCH_engine.json`` at the repo root.
+
+Usage::
+
+    PYTHONPATH=src python tools/perf_report.py            # full sizes
+    PYTHONPATH=src python tools/perf_report.py --smoke    # CI-sized
+    PYTHONPATH=src python tools/perf_report.py -o out.json
+
+The acceptance bar for the overhaul is >=2x event throughput vs the seed
+on ``channel_churn`` and ``timer_storm`` at full size; ``--check`` makes
+the exit status enforce it (used by the release checklist, not CI — CI
+machines are too noisy for a hard wall-clock gate).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+
+ACCEPTANCE = {"channel_churn": 2.0, "timer_storm": 2.0}
+
+
+def build_payload(smoke: bool, repeats: int) -> dict:
+    from bench_engine_micro import run_comparison
+
+    payload = run_comparison(smoke=smoke, repeats=repeats)
+    payload["meta"] = {
+        "benchmark": "bench_engine_micro",
+        "mode": "smoke" if smoke else "full",
+        "repeats": repeats,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "acceptance": {name: f">={bar}x" for name, bar in ACCEPTANCE.items()},
+    }
+    return payload
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "engine microbenchmarks (legacy = seed engine snapshot)",
+        f"{'scenario':<16} {'units':>8} {'legacy':>10} {'new':>10} {'speedup':>8}",
+    ]
+    for name, row in payload["scenarios"].items():
+        if "speedup" in row:
+            lines.append(
+                f"{name:<16} {row['units']:>8} {row['legacy_wall_s']:>9.4f}s"
+                f" {row['new_wall_s']:>9.4f}s {row['speedup']:>7.2f}x"
+            )
+        else:
+            lines.append(
+                f"{name:<16} {row['engine_events']:>8} {'-':>10}"
+                f" {row['new_wall_s']:>9.4f}s {'-':>8}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized scenarios")
+    parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="exit non-zero unless the full-size acceptance ratios hold",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_engine.json"),
+        help="output path (default: BENCH_engine.json at the repo root)",
+    )
+    args = parser.parse_args(argv)
+    if args.repeats < 1:
+        parser.error("--repeats must be >= 1")
+
+    payload = build_payload(args.smoke, args.repeats)
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+    print(render(payload))
+    print(f"\nwrote {args.output}")
+
+    if args.check:
+        failed = []
+        for name, bar in ACCEPTANCE.items():
+            speedup = payload["scenarios"][name]["speedup"]
+            if speedup < bar:
+                failed.append(f"{name}: {speedup}x < {bar}x")
+        if failed:
+            print("acceptance FAILED: " + "; ".join(failed), file=sys.stderr)
+            return 1
+        print("acceptance OK: " + ", ".join(
+            f"{name} {payload['scenarios'][name]['speedup']}x" for name in ACCEPTANCE
+        ))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
