@@ -1,0 +1,64 @@
+"""Chaos campaigns: scripted and randomized fault injection (§5.4).
+
+The paper proves CHC's recovery protocols correct under the fail-stop
+model; this package *stresses* the implementation of those protocols
+against harsher conditions — detection latency, message loss, partitions,
+correlated crashes — and checks the outcomes against machine-checkable
+invariants derived from the paper's theorems (loss-free state, Theorem
+B.5.1; exactly-once externalization, Theorem B.4.4; per-flow ordering,
+Theorem B.2.1).
+
+Layers:
+
+* :mod:`repro.chaos.schedule` — fault actions and seeded random schedules;
+* :mod:`repro.chaos.director` — :class:`ChaosDirector`, a
+  :class:`~repro.simnet.failures.FailureInjector` with a configurable
+  failure-detection model, executing schedules against a runtime;
+* :mod:`repro.chaos.invariants` — the post-run checkers;
+* :mod:`repro.chaos.campaign` — named scenarios, N-seed campaign driver
+  and the :class:`CampaignReport` the CLI serializes.
+"""
+
+from repro.chaos.campaign import (
+    CampaignReport,
+    SCENARIOS,
+    ScenarioOutcome,
+    ScenarioSpec,
+    run_campaign,
+    run_scenario,
+)
+from repro.chaos.director import ChaosDirector, DetectionModel
+from repro.chaos.invariants import InvariantViolation, check_invariants
+from repro.chaos.schedule import (
+    CrashNF,
+    CrashRoot,
+    CrashStore,
+    Heal,
+    LatencySpike,
+    LinkLossBurst,
+    Partition,
+    Schedule,
+    random_schedule,
+)
+
+__all__ = [
+    "CampaignReport",
+    "ChaosDirector",
+    "CrashNF",
+    "CrashRoot",
+    "CrashStore",
+    "DetectionModel",
+    "Heal",
+    "InvariantViolation",
+    "LatencySpike",
+    "LinkLossBurst",
+    "Partition",
+    "SCENARIOS",
+    "Schedule",
+    "ScenarioOutcome",
+    "ScenarioSpec",
+    "check_invariants",
+    "random_schedule",
+    "run_campaign",
+    "run_scenario",
+]

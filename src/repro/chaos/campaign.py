@@ -1,0 +1,412 @@
+"""Named chaos scenarios and the N-seed campaign driver.
+
+A scenario = a fault schedule template + the invariant profile it must
+satisfy. :func:`run_scenario` executes one (seed, scenario) pair twice —
+once clean (the reference run) and once under chaos with a
+:class:`~repro.chaos.director.ChaosDirector` and a
+:class:`~repro.core.supervisor.Supervisor` — then checks the chaos run
+against the reference with :func:`repro.chaos.invariants.check_invariants`.
+
+The workload is a two-vertex chain (per-flow + cross-flow state at the
+entry, cross-flow state at the sink) carrying ``N_PACKETS`` packets over
+``N_FLOWS`` flows; every packet's payload is stamped ``"f<flow>-<seq>"``
+so identities compare across runs even when a root failover shifts the
+clock space (footnote 5).
+
+:func:`run_campaign` sweeps seeds x scenarios and aggregates recovery-time
+distributions (Figure 8-style percentiles: 5/25/50/75/95) into a
+:class:`CampaignReport`, which ``tools/chaos_campaign.py`` serializes to
+``BENCH_recovery.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.chaos.director import ChaosDirector, DetectionModel
+from repro.chaos.invariants import (
+    InvariantViolation,
+    RunSnapshot,
+    check_invariants,
+    snapshot_run,
+)
+from repro.chaos.schedule import (
+    CrashNF,
+    CrashRoot,
+    CrashStore,
+    LinkLossBurst,
+    Partition,
+    Schedule,
+)
+from repro.core.chain_runtime import ChainRuntime, RuntimeParams
+from repro.core.dag import LogicalChain
+from repro.core.nf_api import NetworkFunction, Output
+from repro.simnet.engine import Simulator
+from repro.simnet.monitor import PERCENTILES_FIG8, RecoveryTimeline, percentiles
+from repro.store.spec import AccessPattern, Scope, StateObjectSpec
+from repro.traffic.packet import FiveTuple, Packet
+
+# --- workload -----------------------------------------------------------
+
+N_PACKETS = 80
+N_FLOWS = 6
+GAP_US = 3.0
+FAULT_AT_US = 120.0
+HORIZON_US = 400_000.0
+
+
+class EntryCounterNF(NetworkFunction):
+    """Per-flow hit counter + shared total: exercises PER_FLOW_CACHE and
+    NON_BLOCKING offload on every packet (the state classes whose recovery
+    Theorems B.5.1/B.5.2 cover)."""
+
+    name = "entry"
+
+    def state_specs(self):
+        return {
+            "hits": StateObjectSpec(
+                "hits", Scope.PER_FLOW, AccessPattern.READ_WRITE_OFTEN, initial_value=0
+            ),
+            "total": StateObjectSpec(
+                "total", Scope.CROSS_FLOW, AccessPattern.WRITE_MOSTLY, (), initial_value=0
+            ),
+        }
+
+    def process(self, packet, state):
+        flow = packet.five_tuple.canonical().key()
+        yield from state.update("hits", flow, "incr", 1)
+        yield from state.update("total", None, "incr", 1)
+        return [Output(packet)]
+
+
+class SinkCounterNF(NetworkFunction):
+    """Shared seen-counter at the chain exit."""
+
+    name = "exit"
+
+    def state_specs(self):
+        return {
+            "seen": StateObjectSpec(
+                "seen", Scope.CROSS_FLOW, AccessPattern.WRITE_MOSTLY, (), initial_value=0
+            ),
+        }
+
+    def process(self, packet, state):
+        yield from state.update("seen", None, "incr", 1)
+        return [Output(packet)]
+
+
+def build_runtime(sim: Simulator, seed: int, **overrides) -> ChainRuntime:
+    """The campaign's chain: entry (per-flow + shared) -> exit (shared)."""
+    chain = LogicalChain("chaos")
+    chain.add_vertex("entry", EntryCounterNF, entry=True)
+    chain.add_vertex("exit", SinkCounterNF)
+    chain.add_edge("entry", "exit")
+    params = dict(
+        seed=seed,
+        # periodic checkpoints: store recovery needs one to rebuild shared
+        # state from (Case 1/2 of §5.4 both start at a checkpoint)
+        checkpoint_interval_us=60.0,
+    )
+    params.update(overrides)
+    return ChainRuntime(sim, chain, params=RuntimeParams(**params))
+
+
+def inject_workload(sim: Simulator, runtime: ChainRuntime) -> None:
+    """Start the paced packet source (N_FLOWS flows, payload identities)."""
+
+    def source():
+        seq_per_flow = [0] * N_FLOWS
+        for index in range(N_PACKETS):
+            flow = index % N_FLOWS
+            seq_per_flow[flow] += 1
+            packet = Packet(
+                FiveTuple("10.0.0.1", "52.0.0.1", 1000 + flow, 80, 6),
+                payload=f"f{flow}-{seq_per_flow[flow]}",
+            )
+            runtime.inject(packet)
+            yield sim.timeout(GAP_US)
+
+    sim.process(source(), name="chaos-source")
+
+
+# --- scenarios ----------------------------------------------------------
+
+
+@dataclass
+class ScenarioSpec:
+    """A named fault pattern plus its invariant profile."""
+
+    name: str
+    description: str
+    build_schedule: Callable[[int], Schedule]
+    loss_allowance: int = 0
+    expect_log_drained: bool = True
+    runtime_overrides: Dict[str, Any] = field(default_factory=dict)
+
+
+def _nf_crash(_seed: int) -> Schedule:
+    return Schedule([CrashNF(at_us=FAULT_AT_US, vertex="entry")])
+
+
+def _store_crash(_seed: int) -> Schedule:
+    return Schedule([CrashStore(at_us=FAULT_AT_US + 30.0, name="store0")])
+
+
+def _root_crash(_seed: int) -> Schedule:
+    return Schedule([CrashRoot(at_us=FAULT_AT_US, root_id=0)])
+
+
+def _partition(_seed: int) -> Schedule:
+    # NFs cut off from the store for 1.5ms mid-workload; the root still
+    # reaches both sides. Blocking ops and flushes must ride their retry
+    # budgets across the window.
+    return Schedule(
+        [Partition(at_us=FAULT_AT_US, groups=(("nfs",), ("stores",)), duration_us=1_500.0)]
+    )
+
+
+def _lossy_link(_seed: int) -> Schedule:
+    # 5% loss on ALL control-plane traffic for the whole run, plus an NF
+    # crash: recovery itself must make progress over the lossy fabric.
+    return Schedule(
+        [
+            LinkLossBurst(at_us=0.0, loss=0.05, duration_us=None),
+            CrashNF(at_us=FAULT_AT_US, vertex="entry"),
+        ]
+    )
+
+
+def _nf_plus_root(_seed: int) -> Schedule:
+    # correlated crash (Table 3, recoverable with the store-kept log)
+    return Schedule(
+        [
+            CrashNF(at_us=FAULT_AT_US, vertex="entry"),
+            CrashRoot(at_us=FAULT_AT_US, root_id=0),
+        ]
+    )
+
+
+SCENARIOS: Dict[str, ScenarioSpec] = {
+    spec.name: spec
+    for spec in [
+        ScenarioSpec(
+            name="nf-crash",
+            description="fail-stop one entry NF instance mid-workload",
+            build_schedule=_nf_crash,
+        ),
+        ScenarioSpec(
+            name="store-crash",
+            description="fail-stop the datastore instance holding all state",
+            build_schedule=_store_crash,
+        ),
+        ScenarioSpec(
+            name="root-crash",
+            description="fail-stop the root (locally-logged packet log dies)",
+            build_schedule=_root_crash,
+            # Theorem B.3.1: packets inside the root at the crash instant
+            # are dropped; at GAP_US pacing that is a handful at most.
+            loss_allowance=8,
+        ),
+        ScenarioSpec(
+            name="partition",
+            description="NFs partitioned from the store for 1.5ms",
+            build_schedule=_partition,
+        ),
+        ScenarioSpec(
+            name="lossy-link",
+            description="5% control-plane loss all run + an NF crash",
+            build_schedule=_lossy_link,
+            # one-way deletes/commits are not retransmitted: lost ones
+            # legitimately strand root log entries
+            expect_log_drained=False,
+        ),
+        ScenarioSpec(
+            name="nf-plus-root",
+            description="correlated NF+root crash with store-kept log (Table 3)",
+            build_schedule=_nf_plus_root,
+            runtime_overrides={"log_in_store": True},
+        ),
+    ]
+}
+
+
+# --- driver -------------------------------------------------------------
+
+
+@dataclass
+class ScenarioOutcome:
+    """One (scenario, seed) chaos run, checked against its reference."""
+
+    scenario: str
+    seed: int
+    violations: List[InvariantViolation]
+    recovery_us: Dict[str, float]  # component -> failed->recovered
+    protocol_us: Dict[str, float]  # component -> recovery_started->recovered
+    egress_count: int
+    reference_egress_count: int
+    engine: Dict[str, Any]
+    timeline: List[Dict[str, Any]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _reference_run(seed: int, spec: ScenarioSpec) -> RunSnapshot:
+    sim = Simulator()
+    runtime = build_runtime(sim, seed, **spec.runtime_overrides)
+    inject_workload(sim, runtime)
+    sim.run(until=HORIZON_US)
+    return snapshot_run(runtime)
+
+
+def run_scenario(
+    spec: ScenarioSpec,
+    seed: int,
+    detection: Optional[DetectionModel] = None,
+    reference: Optional[RunSnapshot] = None,
+) -> ScenarioOutcome:
+    """Run one chaos run for ``spec`` under ``seed`` and check invariants.
+
+    ``reference`` lets a campaign reuse one clean run per (scenario,
+    runtime-config) — the reference is seed-independent for this workload
+    (injection times and identities are fixed; seeds only perturb the
+    chaos run's failures and network randomness).
+    """
+    if reference is None:
+        reference = _reference_run(seed, spec)
+
+    sim = Simulator()
+    runtime = build_runtime(sim, seed, **spec.runtime_overrides)
+    timeline = RecoveryTimeline()
+    director = ChaosDirector(
+        sim,
+        network=runtime.network,
+        detection=detection,
+        seed=seed,
+        timeline=timeline,
+    )
+    supervisor = runtime.attach_supervisor(director, timeline=timeline)
+    director.execute(spec.build_schedule(seed), runtime)
+    inject_workload(sim, runtime)
+    sim.run(until=HORIZON_US)
+
+    violations = check_invariants(
+        runtime,
+        reference=reference,
+        supervisor=supervisor,
+        loss_allowance=spec.loss_allowance,
+        expect_log_drained=spec.expect_log_drained,
+    )
+    return ScenarioOutcome(
+        scenario=spec.name,
+        seed=seed,
+        violations=violations,
+        recovery_us=timeline.recovery_durations(since="failed"),
+        protocol_us=timeline.recovery_durations(since="recovery_started"),
+        egress_count=len(runtime.egress),
+        reference_egress_count=len(reference.egress),
+        engine=runtime.engine_report(),
+        timeline=timeline.as_dicts(),
+    )
+
+
+@dataclass
+class CampaignReport:
+    """Aggregated campaign results (what BENCH_recovery.json holds)."""
+
+    outcomes: List[ScenarioOutcome] = field(default_factory=list)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(outcome.violations) for outcome in self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        return self.total_violations == 0
+
+    def recovery_samples(self) -> Dict[str, List[float]]:
+        """scenario -> every component recovery time (failed->recovered)."""
+        samples: Dict[str, List[float]] = {}
+        for outcome in self.outcomes:
+            samples.setdefault(outcome.scenario, []).extend(
+                outcome.recovery_us.values()
+            )
+        return samples
+
+    def protocol_samples(self) -> Dict[str, List[float]]:
+        samples: Dict[str, List[float]] = {}
+        for outcome in self.outcomes:
+            samples.setdefault(outcome.scenario, []).extend(
+                outcome.protocol_us.values()
+            )
+        return samples
+
+    def as_dict(self) -> Dict[str, Any]:
+        per_scenario: Dict[str, Any] = {}
+        protocol = self.protocol_samples()
+        for scenario, samples in sorted(self.recovery_samples().items()):
+            entry: Dict[str, Any] = {
+                "runs": sum(o.scenario == scenario for o in self.outcomes),
+                "violations": sum(
+                    len(o.violations) for o in self.outcomes if o.scenario == scenario
+                ),
+                "recoveries": len(samples),
+            }
+            if samples:
+                entry["recovery_us_percentiles"] = {
+                    f"p{int(q)}": round(v, 3)
+                    for q, v in percentiles(samples, PERCENTILES_FIG8).items()
+                }
+            proto = protocol.get(scenario, [])
+            if proto:
+                entry["protocol_us_percentiles"] = {
+                    f"p{int(q)}": round(v, 3)
+                    for q, v in percentiles(proto, PERCENTILES_FIG8).items()
+                }
+            per_scenario[scenario] = entry
+        return {
+            "campaign": {
+                "runs": len(self.outcomes),
+                "violations": self.total_violations,
+                "ok": self.ok,
+            },
+            "scenarios": per_scenario,
+            "violations": [
+                {
+                    "scenario": outcome.scenario,
+                    "seed": outcome.seed,
+                    **violation.as_dict(),
+                }
+                for outcome in self.outcomes
+                for violation in outcome.violations
+            ],
+        }
+
+
+def run_campaign(
+    seeds: Sequence[int],
+    scenario_names: Optional[Sequence[str]] = None,
+    detection: Optional[DetectionModel] = None,
+    progress: Optional[Callable[[ScenarioOutcome], None]] = None,
+) -> CampaignReport:
+    """Sweep ``seeds`` x the named scenarios (default: all)."""
+    names = list(scenario_names or SCENARIOS)
+    report = CampaignReport()
+    references: Dict[str, RunSnapshot] = {}
+    for name in names:
+        spec = SCENARIOS[name]
+        # one reference per scenario config (see run_scenario docstring)
+        config_key = repr(sorted(spec.runtime_overrides.items()))
+        if config_key not in references:
+            references[config_key] = _reference_run(seeds[0] if seeds else 0, spec)
+        for seed in seeds:
+            outcome = run_scenario(
+                spec, seed, detection=detection, reference=references[config_key]
+            )
+            report.outcomes.append(outcome)
+            if progress is not None:
+                progress(outcome)
+    return report

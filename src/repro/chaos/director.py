@@ -1,0 +1,228 @@
+"""The chaos director: failure injection with a detection model.
+
+:class:`ChaosDirector` generalizes
+:class:`~repro.simnet.failures.FailureInjector` along two axes the paper's
+fail-stop model idealizes away:
+
+* **detection latency** — the paper assumes failures are detected
+  "immediately" (§5.4). :class:`DetectionModel` optionally models a
+  heartbeat detector instead: a failure is noticed at the next heartbeat
+  the dead component misses, plus any further misses the detector requires
+  before declaring death. The default stays instantaneous, matching the
+  paper.
+* **schedule execution** — :meth:`ChaosDirector.execute` runs a
+  :class:`~repro.chaos.schedule.Schedule` against a
+  :class:`~repro.core.chain_runtime.ChainRuntime`, resolving role-based
+  targets (a random alive NF, the store holding a vertex's state) with a
+  seeded RNG and dispatching network faults (partitions, loss bursts,
+  latency spikes) to the fabric.
+
+The director records "failed" events in a
+:class:`~repro.simnet.monitor.RecoveryTimeline` at the crash instant and
+notifies observers (typically a :class:`~repro.core.supervisor.Supervisor`)
+only after the modeled detection latency — so campaign reports can split an
+outage into detection time and protocol time.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Optional, Sequence
+
+from repro.chaos.schedule import (
+    CrashNF,
+    CrashRoot,
+    CrashStore,
+    FaultAction,
+    Heal,
+    LatencySpike,
+    LinkLossBurst,
+    Partition,
+    Schedule,
+)
+from repro.simnet.engine import Simulator
+from repro.simnet.failures import Failable, FailureInjector
+from repro.simnet.monitor import RecoveryTimeline
+from repro.simnet.network import Network
+
+
+@dataclass
+class DetectionModel:
+    """How long after a crash the cluster notices it.
+
+    ``heartbeat_interval_us <= 0`` models the paper's instantaneous
+    detector. Otherwise the crash lands uniformly at random inside a
+    heartbeat period (the component's beats are not phase-aligned with the
+    crash), and the detector declares death after ``misses`` consecutive
+    missed beats: latency = U(0, interval) + (misses - 1) * interval.
+    """
+
+    heartbeat_interval_us: float = 0.0
+    misses: int = 1
+
+    def latency_us(self, rng: random.Random) -> float:
+        if self.heartbeat_interval_us <= 0:
+            return 0.0
+        return rng.random() * self.heartbeat_interval_us + (
+            max(self.misses, 1) - 1
+        ) * self.heartbeat_interval_us
+
+
+class ChaosDirector(FailureInjector):
+    """A failure injector that executes fault schedules. See module doc."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        network: Optional[Network] = None,
+        detection: Optional[DetectionModel] = None,
+        seed: int = 0,
+        timeline: Optional[RecoveryTimeline] = None,
+    ):
+        super().__init__(sim)
+        self.network = network
+        self.detection = detection or DetectionModel()
+        self.rng = random.Random(seed)
+        self.timeline = timeline
+        self.failed_at: Dict[str, float] = {}
+        self.detected_at: Dict[str, float] = {}
+        self.executed: List[FaultAction] = []
+        self.skipped: List[FaultAction] = []
+
+    @staticmethod
+    def _name(component: Any) -> str:
+        return getattr(component, "instance_id", None) or getattr(
+            component, "name", repr(component)
+        )
+
+    def _notify(self, component: Failable) -> None:
+        """Dispatch detection after the model's latency (base: instantly)."""
+        name = self._name(component)
+        self.failed_at.setdefault(name, self.sim.now)
+        if self.timeline is not None:
+            self.timeline.record(self.sim.now, "failed", name)
+        latency = self.detection.latency_us(self.rng)
+        if latency <= 0.0:
+            self.detected_at.setdefault(name, self.sim.now)
+            super()._notify(component)
+            return
+        self.sim.schedule(latency, self._detect, component, name)
+
+    def _detect(self, component: Failable, name: str) -> None:
+        self.detected_at.setdefault(name, self.sim.now)
+        super()._notify(component)
+
+    # ------------------------------------------------------------------
+    # schedule execution
+    # ------------------------------------------------------------------
+
+    def execute(self, schedule: Schedule, runtime) -> "Any":
+        """Run ``schedule`` against ``runtime`` (returns the sim process)."""
+        return self.sim.process(
+            self._execute(schedule, runtime), name="chaos-director"
+        )
+
+    def _execute(self, schedule: Schedule, runtime) -> Generator:
+        for action in schedule.sorted():
+            delay = action.at_us - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self.apply(action, runtime)
+
+    def apply(self, action: FaultAction, runtime) -> None:
+        """Apply one fault action now (resolving role-based targets)."""
+        if isinstance(action, CrashNF):
+            target = self._pick_nf(action, runtime)
+        elif isinstance(action, CrashRoot):
+            target = next(
+                (r for r in runtime.roots if r.root_id == action.root_id and r.alive),
+                None,
+            )
+        elif isinstance(action, CrashStore):
+            target = self._pick_store(action, runtime)
+        elif isinstance(action, Partition):
+            network = self.network or runtime.network
+            network.partition(self._resolve_groups(action.groups, runtime))
+            if action.duration_us is not None:
+                self.sim.schedule(action.duration_us, network.heal)
+            self.executed.append(action)
+            return
+        elif isinstance(action, Heal):
+            (self.network or runtime.network).heal()
+            self.executed.append(action)
+            return
+        elif isinstance(action, LinkLossBurst):
+            (self.network or runtime.network).degrade(
+                src=action.src,
+                dst=action.dst,
+                loss=action.loss,
+                duration_us=action.duration_us,
+            )
+            self.executed.append(action)
+            return
+        elif isinstance(action, LatencySpike):
+            (self.network or runtime.network).degrade(
+                src=action.src,
+                dst=action.dst,
+                extra_latency_us=action.extra_latency_us,
+                jitter_us=action.jitter_us,
+                duration_us=action.duration_us,
+            )
+            self.executed.append(action)
+            return
+        else:
+            raise TypeError(f"unknown fault action {action!r}")
+
+        if target is None:
+            # the role resolved to nothing alive (e.g. the only instance of
+            # the vertex already crashed) — a randomized schedule may do
+            # this legitimately; record and move on
+            self.skipped.append(action)
+            return
+        self.executed.append(action)
+        self.fail_now(target)
+
+    def _pick_nf(self, action: CrashNF, runtime):
+        if action.instance_id is not None:
+            instance = runtime.instances.get(action.instance_id)
+            return instance if instance is not None and instance.alive else None
+        candidates = [
+            instance
+            for instance in runtime.instances.values()
+            if instance.alive
+            and (action.vertex is None or instance.vertex_name == action.vertex)
+        ]
+        # Never crash a vertex's last alive instance *and* strand the vertex:
+        # failover creates a replacement, so any alive instance is fair game.
+        if not candidates:
+            return None
+        return self.rng.choice(sorted(candidates, key=lambda i: i.instance_id))
+
+    def _pick_store(self, action: CrashStore, runtime):
+        if action.name is not None:
+            return next(
+                (s for s in runtime.stores if s.name == action.name and s.alive), None
+            )
+        candidates = [store for store in runtime.stores if store.alive]
+        if not candidates:
+            return None
+        return self.rng.choice(sorted(candidates, key=lambda s: s.name))
+
+    def _resolve_groups(self, groups: Sequence[Sequence[str]], runtime) -> List[List[str]]:
+        resolved: List[List[str]] = []
+        for group in groups:
+            names: List[str] = []
+            for selector in group:
+                if selector == "nfs":
+                    names.extend(
+                        i.instance_id for i in runtime.instances.values() if i.alive
+                    )
+                elif selector == "stores":
+                    names.extend(s.name for s in runtime.stores if s.alive)
+                elif selector == "roots":
+                    names.extend(r.name for r in runtime.roots if r.alive)
+                else:
+                    names.append(selector)
+            resolved.append(names)
+        return resolved

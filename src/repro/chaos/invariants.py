@@ -1,0 +1,312 @@
+"""Machine-checkable correctness invariants for chaos runs.
+
+Each checker encodes a guarantee the paper proves for CHC and returns a
+list of :class:`InvariantViolation` (empty = the guarantee held):
+
+* **loss-free state** (Theorems B.5.1–B.5.3): the chain's final store
+  state matches a clean reference run of the same workload — failures and
+  recoveries must not lose or corrupt state. Scenarios that *provably*
+  lose a bounded set of packets (a locally-logged root crash drops the
+  packets inside the root at that instant, Theorem B.3.1) pass a
+  ``loss_allowance``: counters may trail the reference by at most that
+  many increments, never exceed it.
+* **exactly-once externalization** (Theorem B.4.4): no packet identity
+  leaves the chain twice — replay plus duplicate suppression must not leak
+  duplicates to the end host.
+* **per-flow ordering** (§2.1, Theorem B.2.1): packets of one flow leave
+  the chain in injection order.
+* **no stranded ownership**: every per-flow key's owner recorded at a
+  store names an alive, registered NF instance — failovers and handovers
+  must never leave state owned by the dead.
+* **flush give-ups / recovery failures**: bounded retransmission means a
+  client can abandon a flush; on an otherwise-healed network that signals
+  lost state, so surviving clients must end with zero give-ups, and every
+  supervised recovery must have completed successfully.
+
+Identity: the campaign workload stamps each injected packet's ``payload``
+with ``"f<flow>-<seq>"``. Unlike clocks, payload identities are stable
+across a root failover (the recovered clock resumes *past* the unpersisted
+window, footnote 5, so clock values diverge from the reference run).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+_INTERNAL_MARKERS = ("__root__", "__move__", "__nondet__")
+
+
+@dataclass
+class InvariantViolation:
+    """One broken guarantee, with enough detail to debug the run."""
+
+    invariant: str
+    detail: str
+
+    def as_dict(self) -> Dict[str, str]:
+        return {"invariant": self.invariant, "detail": self.detail}
+
+
+@dataclass
+class RunSnapshot:
+    """What a finished run looked like, for cross-run comparison."""
+
+    state: Dict[str, Any]
+    egress: List[Tuple[Optional[str], int]] = field(default_factory=list)
+    # (payload identity, clock) in egress order
+
+
+def _is_internal(key: str) -> bool:
+    return any(marker in key for marker in _INTERNAL_MARKERS)
+
+
+def chain_state(runtime) -> Dict[str, Any]:
+    """Final application-visible store state (internal keys filtered)."""
+    state: Dict[str, Any] = {}
+    for store in runtime.store.instances:
+        for key in store.keys():
+            if not _is_internal(key):
+                state[key] = store.peek(key)
+    return state
+
+
+def egress_records(runtime) -> List[Tuple[Optional[str], int]]:
+    """(payload, clock) of every packet that left the chain, in order."""
+    return [
+        (packet.payload, packet.clock)
+        for _vertex, packet in runtime.egress._items
+    ]
+
+
+def snapshot_run(runtime) -> RunSnapshot:
+    return RunSnapshot(state=chain_state(runtime), egress=egress_records(runtime))
+
+
+# ----------------------------------------------------------------------
+# individual checkers
+# ----------------------------------------------------------------------
+
+
+def check_loss_free_state(
+    state: Dict[str, Any],
+    reference: Dict[str, Any],
+    loss_allowance: int = 0,
+) -> List[InvariantViolation]:
+    """Final state equals the reference run's (Theorems B.5.1–B.5.3).
+
+    With ``loss_allowance > 0``, integer-valued keys may trail the
+    reference by at most the allowance (bounded, *provable* packet loss)
+    but may never exceed it (that would mean duplication or corruption).
+    """
+    violations: List[InvariantViolation] = []
+    for key in sorted(set(reference) | set(state)):
+        expected = reference.get(key)
+        got = state.get(key)
+        if got == expected:
+            continue
+        if (
+            loss_allowance > 0
+            and isinstance(expected, int)
+            and isinstance(got, (int, type(None)))
+        ):
+            deficit = expected - (got or 0)
+            if 0 <= deficit <= loss_allowance:
+                continue
+        violations.append(
+            InvariantViolation(
+                "loss-free-state",
+                f"{key!r}: expected {expected!r}, got {got!r}"
+                + (f" (allowance {loss_allowance})" if loss_allowance else ""),
+            )
+        )
+    return violations
+
+
+def check_exactly_once(
+    egress: List[Tuple[Optional[str], int]]
+) -> List[InvariantViolation]:
+    """No packet identity is externalized twice (Theorem B.4.4)."""
+    violations: List[InvariantViolation] = []
+    seen: Dict[Optional[str], int] = {}
+    for payload, _clock in egress:
+        if payload is None:
+            continue
+        seen[payload] = seen.get(payload, 0) + 1
+    for payload, count in sorted(seen.items()):
+        if count > 1:
+            violations.append(
+                InvariantViolation(
+                    "exactly-once", f"packet {payload!r} externalized {count} times"
+                )
+            )
+    return violations
+
+
+def check_egress_complete(
+    egress: List[Tuple[Optional[str], int]],
+    reference: List[Tuple[Optional[str], int]],
+    loss_allowance: int = 0,
+) -> List[InvariantViolation]:
+    """Every reference packet leaves the chain (minus the allowance), and
+    nothing leaves that the reference run didn't produce."""
+    violations: List[InvariantViolation] = []
+    got = {payload for payload, _ in egress if payload is not None}
+    expected = {payload for payload, _ in reference if payload is not None}
+    extra = got - expected
+    missing = expected - got
+    if extra:
+        violations.append(
+            InvariantViolation(
+                "egress-complete", f"unexpected egress packets: {sorted(extra)[:5]}"
+            )
+        )
+    if len(missing) > loss_allowance:
+        violations.append(
+            InvariantViolation(
+                "egress-complete",
+                f"{len(missing)} packets never externalized "
+                f"(allowance {loss_allowance}): {sorted(missing)[:5]}...",
+            )
+        )
+    return violations
+
+
+def check_flow_ordering(
+    egress: List[Tuple[Optional[str], int]]
+) -> List[InvariantViolation]:
+    """Per-flow egress order matches injection order (Theorem B.2.1).
+
+    Relies on the campaign's ``"f<flow>-<seq>"`` payload convention;
+    packets without it are skipped.
+    """
+    violations: List[InvariantViolation] = []
+    last_seq: Dict[str, int] = {}
+    for payload, _clock in egress:
+        if not payload or "-" not in payload:
+            continue
+        flow, _, seq_text = payload.rpartition("-")
+        try:
+            seq = int(seq_text)
+        except ValueError:
+            continue
+        previous = last_seq.get(flow)
+        if previous is not None and seq <= previous:
+            violations.append(
+                InvariantViolation(
+                    "flow-ordering",
+                    f"flow {flow!r}: packet #{seq} externalized after #{previous}",
+                )
+            )
+        last_seq[flow] = max(seq, last_seq.get(flow, -1))
+    return violations
+
+
+def check_ownership(runtime) -> List[InvariantViolation]:
+    """Every recorded per-flow owner is an alive, registered NF instance."""
+    violations: List[InvariantViolation] = []
+    for store in runtime.store.instances:
+        if not store.alive:
+            continue
+        for key, owner in sorted(store._owners.items()):
+            if owner is None or _is_internal(key):
+                continue
+            instance = runtime.instances.get(owner)
+            if instance is None or not instance.alive:
+                violations.append(
+                    InvariantViolation(
+                        "no-stranded-ownership",
+                        f"{store.name}: key {key!r} owned by "
+                        f"{'unknown' if instance is None else 'dead'} instance {owner!r}",
+                    )
+                )
+    return violations
+
+
+def check_log_drained(runtime) -> List[InvariantViolation]:
+    """Every root's packet log is empty once traffic quiesced.
+
+    Only meaningful for scenarios without message loss: the one-way
+    DeleteRequest / CommitSignal messages are not retransmitted, so a lossy
+    window legitimately strands log entries (the memory is reclaimed by the
+    prune protocol in a real deployment).
+    """
+    violations: List[InvariantViolation] = []
+    for root in runtime.roots:
+        if not root.alive:
+            continue
+        if root.log:
+            violations.append(
+                InvariantViolation(
+                    "log-drained",
+                    f"{root.name}: {len(root.log)} packet log entries not deleted",
+                )
+            )
+    return violations
+
+
+def check_no_gaveups(runtime) -> List[InvariantViolation]:
+    """No surviving client abandoned a state flush (potential lost state)."""
+    violations: List[InvariantViolation] = []
+    for instance in runtime.instances.values():
+        if not instance.alive:
+            continue
+        gave_up = instance.client.stats.flushes_gave_up
+        if gave_up:
+            violations.append(
+                InvariantViolation(
+                    "no-flush-gaveups",
+                    f"{instance.instance_id}: {gave_up} flushes exhausted their "
+                    "retry budget",
+                )
+            )
+    return violations
+
+
+def check_recoveries_succeeded(supervisor) -> List[InvariantViolation]:
+    """Every supervised recovery ran to completion."""
+    violations: List[InvariantViolation] = []
+    for record in supervisor.failed_recoveries():
+        violations.append(
+            InvariantViolation(
+                "recovery-completed",
+                f"{record.kind} recovery of {record.component} failed: "
+                f"{record.error!r}",
+            )
+        )
+    if supervisor.busy:
+        violations.append(
+            InvariantViolation(
+                "recovery-completed",
+                "recoveries still queued or running at end of run",
+            )
+        )
+    return violations
+
+
+def check_invariants(
+    runtime,
+    reference: Optional[RunSnapshot] = None,
+    supervisor=None,
+    loss_allowance: int = 0,
+    expect_log_drained: bool = True,
+) -> List[InvariantViolation]:
+    """Run the full battery; returns every violation found."""
+    snapshot = snapshot_run(runtime)
+    violations: List[InvariantViolation] = []
+    violations += check_exactly_once(snapshot.egress)
+    violations += check_flow_ordering(snapshot.egress)
+    violations += check_ownership(runtime)
+    violations += check_no_gaveups(runtime)
+    if reference is not None:
+        violations += check_loss_free_state(
+            snapshot.state, reference.state, loss_allowance
+        )
+        violations += check_egress_complete(
+            snapshot.egress, reference.egress, loss_allowance
+        )
+    if expect_log_drained:
+        violations += check_log_drained(runtime)
+    if supervisor is not None:
+        violations += check_recoveries_succeeded(supervisor)
+    return violations

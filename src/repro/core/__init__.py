@@ -20,6 +20,9 @@ This package is the paper's primary contribution:
 * :mod:`~repro.core.cloning` — straggler mitigation with clone + replay
   and duplicate suppression (§5.3).
 * :mod:`~repro.core.recovery` — NF and root failover (§5.4).
+* :mod:`~repro.core.supervisor` — failure-notification handling: ordered
+  (root → store → NF) recovery dispatch with dependency probing and a
+  per-component recovery timeline.
 * :mod:`~repro.core.vertex_manager` — statistics aggregation feeding
   operator-supplied scaling/straggler logic (§3).
 """
@@ -35,6 +38,7 @@ from repro.core.nf_api import NetworkFunction, Output, StateAPI
 from repro.core.recovery import fail_over_nf, fail_over_root
 from repro.core.root import Root
 from repro.core.splitter import Splitter
+from repro.core.supervisor import RecoveryRecord, Supervisor
 from repro.core.vertex_manager import VertexManager
 
 __all__ = [
@@ -46,10 +50,12 @@ __all__ = [
     "NFInstance",
     "NetworkFunction",
     "Output",
+    "RecoveryRecord",
     "Root",
     "RuntimeParams",
     "Splitter",
     "StateAPI",
+    "Supervisor",
     "TagRegistry",
     "Vertex",
     "VertexManager",

@@ -560,6 +560,35 @@ class ChainRuntime:
             dup_filter.forget(clock)
 
     # ------------------------------------------------------------------
+    # failure handling (chaos campaigns, §5.4)
+    # ------------------------------------------------------------------
+
+    def components(self) -> Dict[str, Any]:
+        """Every fail-stop-able component by name (roots, NFs, stores).
+
+        This is what a :class:`~repro.core.supervisor.Supervisor` registers
+        and what chaos schedules draw targets from.
+        """
+        named: Dict[str, Any] = {}
+        for root in self.roots:
+            named[root.name] = root
+        for instance_id, instance in self.instances.items():
+            named[instance_id] = instance
+        for store in self.stores:
+            named[store.name] = store
+        return named
+
+    def attach_supervisor(self, injector=None, **kwargs):
+        """Create a :class:`~repro.core.supervisor.Supervisor` wired to this
+        runtime (and to ``injector``'s failure notifications, when given)."""
+        from repro.core.supervisor import Supervisor
+
+        supervisor = Supervisor(self, **kwargs)
+        if injector is not None:
+            injector.on_failure(supervisor.on_failure)
+        return supervisor
+
+    # ------------------------------------------------------------------
     # engine performance forensics
     # ------------------------------------------------------------------
 
@@ -570,7 +599,8 @@ class ChainRuntime:
         behaviour: events processed, the microtask share (work that skipped
         the timer heap), the heap peak, and where queueing built up.
         """
-        report: Dict[str, Any] = engine_counters(self.sim).as_dict()
+        report: Dict[str, Any] = engine_counters(self.sim, self.network).as_dict()
+        report["network_drops"] = dict(self.network.drops)
         channels: Dict[str, Channel] = {"egress": self.egress}
         for instance_id, instance in self.instances.items():
             channels[f"{instance_id}.input"] = instance.input

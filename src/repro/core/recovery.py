@@ -28,6 +28,24 @@ from repro.simnet.rpc import RpcEndpoint
 from repro.store.keys import StateKey
 from repro.store.protocol import ReadRequest, SnapshotRequest, TakeoverRequest
 
+# Retransmissions per recovery-protocol RPC before giving up. Recovery must
+# make progress over the same lossy links that caused the failure, so every
+# blocking call below retries with backoff when the runtime has a
+# retransmission timeout configured (RuntimeParams.retransmit_timeout_us).
+RECOVERY_RETRY_BUDGET = 12
+
+
+def _recovery_call(runtime, endpoint: RpcEndpoint, dst, payload) -> Generator:
+    """Blocking RPC used by the recovery protocols (bounded retransmission)."""
+    timeout = getattr(runtime.params, "retransmit_timeout_us", None)
+    if timeout is None:
+        result = yield endpoint.call_event(dst() if callable(dst) else dst, payload)
+        return result
+    result = yield from endpoint.call(
+        dst, payload, timeout_us=timeout, max_retries=RECOVERY_RETRY_BUDGET, backoff=1.5
+    )
+    return result
+
 
 def replay_all_roots(runtime, target_instance: str) -> Generator:
     """Replay every root's packet log at ``target_instance`` (§5.3, §5.4).
@@ -80,9 +98,11 @@ def fail_over_nf(runtime, failed_id: str, suffix: Optional[str] = None) -> Gener
 
     # 1. Associate the failover instance's ID with the failed instance's
     #    state (bulk metadata update at the vertex's store instance).
-    store_endpoint = runtime.store.endpoint_for_key(StateKey(vertex, "_").storage_key())
-    taken = yield replacement.client.endpoint.call_event(
-        store_endpoint,
+    state_key = StateKey(vertex, "_").storage_key()
+    taken = yield from _recovery_call(
+        runtime,
+        replacement.client.endpoint,
+        lambda: runtime.store.endpoint_for_key(state_key),
         TakeoverRequest(old_instance=failed_id, new_instance=replacement.instance_id),
     )
 
@@ -138,7 +158,9 @@ def fail_over_root(runtime, root: Optional[Root] = None) -> Generator:
 
     bootstrap = RpcEndpoint(sim, runtime.network, f"{old_root.name}-recovery-{int(sim.now)}")
     store_endpoint = old_root.store_endpoint or runtime.stores[0].name
-    read = yield bootstrap.call_event(
+    read = yield from _recovery_call(
+        runtime,
+        bootstrap,
         store_endpoint,
         ReadRequest(key=Root.recovered_clock_key(old_root.root_id)),
     )
@@ -146,17 +168,23 @@ def fail_over_root(runtime, root: Optional[Root] = None) -> Generator:
     log_snapshot = {}
     if old_root.log_in_store:
         # the store-kept packet log survives the root (§7.2's trade-off)
-        log_snapshot = yield bootstrap.call_event(
+        log_snapshot = yield from _recovery_call(
+            runtime,
+            bootstrap,
             store_endpoint,
             SnapshotRequest(prefix=Root.log_key_prefix(old_root.root_id)),
         )
 
     # Query the entry vertex's instances for their flow allocation, in
     # parallel (the recovering root must partition subsequent traffic the
-    # same way, §5.4 "Root").
+    # same way, §5.4 "Root"). Each query is its own process so its retry
+    # loop runs concurrently with the others.
     entry_instances = runtime.instances_of(runtime.chain.entry)
     queries = [
-        bootstrap.call_event(instance.instance_id, "allocation")
+        sim.process(
+            _recovery_call(runtime, bootstrap, instance.instance_id, "allocation"),
+            name=f"root-recovery-alloc({instance.instance_id})",
+        )
         for instance in entry_instances
         if instance.alive
     ]

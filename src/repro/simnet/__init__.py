@@ -33,16 +33,19 @@ from repro.simnet.engine import (
 from repro.simnet.failures import FailureInjector
 from repro.simnet.monitor import (
     LatencyRecorder,
+    RecoveryTimeline,
     ThroughputMeter,
+    TimelineEvent,
     percentile,
     percentiles,
 )
-from repro.simnet.network import Link, Network
+from repro.simnet.network import Degradation, Link, Network
 from repro.simnet.nic import Nic
-from repro.simnet.rpc import RpcEndpoint, RpcError, RpcRequest, RpcTimeout
+from repro.simnet.rpc import RpcEndpoint, RpcError, RpcGaveUp, RpcRequest, RpcTimeout
 
 __all__ = [
     "Channel",
+    "Degradation",
     "Event",
     "FailureInjector",
     "Interrupt",
@@ -52,12 +55,15 @@ __all__ = [
     "Nic",
     "Process",
     "ProcessKilled",
+    "RecoveryTimeline",
     "RpcEndpoint",
     "RpcError",
+    "RpcGaveUp",
     "RpcRequest",
     "RpcTimeout",
     "Simulator",
     "ThroughputMeter",
+    "TimelineEvent",
     "percentile",
     "percentiles",
 ]

@@ -12,7 +12,7 @@ model".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
@@ -35,6 +35,12 @@ class EngineCounters:
     microtasks_processed: int
     heap_peak: int
     heap_size: int
+    # RPC-layer churn (populated when a Network is passed to
+    # engine_counters): timed-out attempts, retransmissions, and calls that
+    # exhausted their retry budget (RpcGaveUp).
+    rpc_retries: int = 0
+    rpc_timeouts: int = 0
+    rpc_gaveups: int = 0
 
     @property
     def heap_events(self) -> int:
@@ -55,17 +61,26 @@ class EngineCounters:
             "microtask_share": round(self.microtask_share, 4),
             "heap_peak": self.heap_peak,
             "heap_size": self.heap_size,
+            "rpc_retries": self.rpc_retries,
+            "rpc_timeouts": self.rpc_timeouts,
+            "rpc_gaveups": self.rpc_gaveups,
         }
 
 
-def engine_counters(sim) -> EngineCounters:
-    """Snapshot a :class:`~repro.simnet.engine.Simulator`'s counters."""
+def engine_counters(sim, network=None) -> EngineCounters:
+    """Snapshot a :class:`~repro.simnet.engine.Simulator`'s counters.
+
+    Pass the :class:`~repro.simnet.network.Network` too to fold in the RPC
+    retransmission counters (retries / timeouts / give-ups)."""
     return EngineCounters(
         now=sim.now,
         events_processed=sim.events_processed,
         microtasks_processed=sim.microtasks_processed,
         heap_peak=sim.heap_peak,
         heap_size=len(sim._heap),
+        rpc_retries=getattr(network, "rpc_retries", 0),
+        rpc_timeouts=getattr(network, "rpc_timeouts", 0),
+        rpc_gaveups=getattr(network, "rpc_gaveups", 0),
     )
 
 
@@ -162,6 +177,59 @@ class LatencyRecorder:
         if bucket:
             out.append((start, float(np.mean(bucket))))
         return out
+
+
+@dataclass
+class TimelineEvent:
+    """One entry in a :class:`RecoveryTimeline`."""
+
+    at: float
+    kind: str  # "failed" | "detected" | "recovery_started" | "recovered" | "recovery_failed"
+    component: str
+    detail: Dict[str, object] = dataclass_field(default_factory=dict)
+
+
+class RecoveryTimeline:
+    """An ordered log of failure / detection / recovery events.
+
+    The :class:`repro.core.supervisor.Supervisor` records here; chaos
+    campaign reports read it to reconstruct per-component recovery times
+    (detected -> recovered) and end-to-end outage windows (failed ->
+    recovered, which includes the detector's latency).
+    """
+
+    def __init__(self):
+        self.events: List[TimelineEvent] = []
+
+    def record(self, at: float, kind: str, component: str, **detail) -> TimelineEvent:
+        event = TimelineEvent(at=at, kind=kind, component=component, detail=detail)
+        self.events.append(event)
+        return event
+
+    def of_kind(self, kind: str) -> List[TimelineEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def recovery_durations(self, since: str = "failed") -> Dict[str, float]:
+        """``{component: duration_us}`` from ``since`` to "recovered".
+
+        ``since`` is "failed" (outage window, detection latency included)
+        or "detected" / "recovery_started" (pure protocol time). Components
+        without a completed recovery are omitted.
+        """
+        starts: Dict[str, float] = {}
+        durations: Dict[str, float] = {}
+        for event in self.events:
+            if event.kind == since and event.component not in starts:
+                starts[event.component] = event.at
+            elif event.kind == "recovered" and event.component in starts:
+                durations[event.component] = event.at - starts.pop(event.component)
+        return durations
+
+    def as_dicts(self) -> List[Dict[str, object]]:
+        return [
+            {"at_us": e.at, "kind": e.kind, "component": e.component, **e.detail}
+            for e in self.events
+        ]
 
 
 class ThroughputMeter:

@@ -5,13 +5,28 @@ The network does **not** guarantee ordering or delivery (the paper's §2.1:
 configured with latency jitter (which reorders) and a loss probability. The
 defaults are lossless, constant-latency links, which is what the evaluation
 testbed (a single rack) behaves like.
+
+Beyond static links the fabric supports the adversarial conditions the
+chaos campaigns (:mod:`repro.chaos`) compose:
+
+* **partitions** — :meth:`Network.partition` splits the endpoints into
+  groups; messages between different groups are dropped until
+  :meth:`Network.heal`;
+* **time-windowed degradation** — :meth:`Network.degrade` overlays extra
+  loss / jitter / latency on matching (src, dst) pairs for a time window
+  (loss bursts and latency spikes that start and stop mid-run);
+* **drop accounting by cause** — every dropped message is attributed to
+  ``loss``, ``endpoint_down``, ``unregistered`` or ``partition`` in
+  :attr:`Network.drops`, so campaign reports can explain where messages
+  went. ``Network.dropped`` stays as the total for backward compatibility.
 """
 
 from __future__ import annotations
 
+import math
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.simnet.engine import Channel, Simulator
 
@@ -36,6 +51,34 @@ class Link:
         if self.jitter_us > 0:
             return self.latency_us + rng.random() * self.jitter_us
         return self.latency_us
+
+
+@dataclass
+class Degradation:
+    """A time-windowed overlay on top of the static link parameters.
+
+    ``src`` / ``dst`` of ``None`` match any endpoint. ``loss`` composes with
+    the link's own loss as independent drop chances; ``jitter_us`` and
+    ``extra_latency_us`` add to the link's values. Active while
+    ``start <= now < end``.
+    """
+
+    src: Optional[str] = None
+    dst: Optional[str] = None
+    loss: float = 0.0
+    jitter_us: float = 0.0
+    extra_latency_us: float = 0.0
+    start: float = 0.0
+    end: float = math.inf
+
+    def matches(self, src: str, dst: str, now: float) -> bool:
+        if now < self.start or now >= self.end:
+            return False
+        if self.src is not None and self.src != src:
+            return False
+        if self.dst is not None and self.dst != dst:
+            return False
+        return True
 
 
 class Envelope:
@@ -72,9 +115,29 @@ class Network:
         self._inboxes: Dict[str, Channel] = {}
         self._callbacks: Dict[str, Callable[[Envelope], None]] = {}
         self._down: set = set()
+        self.seed = seed
         self.rng = random.Random(seed)
         self.delivered = 0
-        self.dropped = 0
+        # drop accounting by cause; `dropped` (total) is derived from this
+        self.drops: Dict[str, int] = {
+            "loss": 0,
+            "endpoint_down": 0,
+            "unregistered": 0,
+            "partition": 0,
+        }
+        # RPC-layer counters (incremented by RpcEndpoint; surfaced through
+        # monitor.EngineCounters so campaign reports can attribute control-
+        # plane churn).
+        self.rpc_retries = 0
+        self.rpc_timeouts = 0
+        self.rpc_gaveups = 0
+        self._partition: Optional[Dict[str, int]] = None  # endpoint -> group
+        self._degradations: List[Degradation] = []
+
+    @property
+    def dropped(self) -> int:
+        """Total messages dropped, all causes (backward-compatible view)."""
+        return sum(self.drops.values())
 
     def register(self, name: str) -> Channel:
         """Register ``name`` and return its inbox channel.
@@ -110,6 +173,113 @@ class Network:
     def is_down(self, name: str) -> bool:
         return name in self._down
 
+    # ------------------------------------------------------------------
+    # partitions and time-windowed degradation (chaos campaign hooks)
+    # ------------------------------------------------------------------
+
+    def partition(self, groups: Sequence[Iterable[str]]) -> None:
+        """Partition the fabric: endpoints in different groups can't talk.
+
+        ``groups`` is a list of endpoint-name collections. Messages whose
+        src and dst both appear in (different) groups are dropped at send
+        time and accounted as ``partition`` drops. Endpoints not listed in
+        any group are unrestricted — they see every side (this models a
+        partition of a subset of the rack, e.g. NFs cut off from the store
+        while the root still reaches both). Calling :meth:`partition` again
+        replaces the previous partition; :meth:`heal` removes it.
+        """
+        membership: Dict[str, int] = {}
+        for index, group in enumerate(groups):
+            for name in group:
+                membership[name] = index
+        self._partition = membership
+
+    def heal(self) -> None:
+        """Remove the current partition (messages flow everywhere again)."""
+        self._partition = None
+
+    @property
+    def partitioned(self) -> bool:
+        return self._partition is not None
+
+    def _blocked_by_partition(self, src: str, dst: str) -> bool:
+        membership = self._partition
+        if membership is None:
+            return False
+        src_group = membership.get(src)
+        dst_group = membership.get(dst)
+        return src_group is not None and dst_group is not None and src_group != dst_group
+
+    def degrade(
+        self,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        *,
+        loss: float = 0.0,
+        jitter_us: float = 0.0,
+        extra_latency_us: float = 0.0,
+        start: Optional[float] = None,
+        duration_us: Optional[float] = None,
+    ) -> Degradation:
+        """Overlay loss / jitter / latency on matching traffic for a window.
+
+        ``src=None`` / ``dst=None`` are wildcards. The window defaults to
+        starting now and never ending; expired degradations are pruned
+        lazily. Returns the :class:`Degradation`, which can be removed early
+        with :meth:`remove_degradation`.
+        """
+        begin = self.sim.now if start is None else start
+        end = math.inf if duration_us is None else begin + duration_us
+        degradation = Degradation(
+            src=src,
+            dst=dst,
+            loss=loss,
+            jitter_us=jitter_us,
+            extra_latency_us=extra_latency_us,
+            start=begin,
+            end=end,
+        )
+        self._degradations.append(degradation)
+        return degradation
+
+    def remove_degradation(self, degradation: Degradation) -> None:
+        try:
+            self._degradations.remove(degradation)
+        except ValueError:
+            pass
+
+    def _degraded_delay(self, link: Link, src: str, dst: str) -> Optional[float]:
+        """Link delay with all active degradations applied (or None = lost)."""
+        now = self.sim.now
+        live: List[Degradation] = []
+        loss = link.loss
+        jitter = link.jitter_us
+        extra = 0.0
+        changed = False
+        for degradation in self._degradations:
+            if now >= degradation.end:
+                changed = True  # expired; prune below
+                continue
+            live.append(degradation)
+            if degradation.matches(src, dst, now):
+                # independent drop chances compose
+                loss = 1.0 - (1.0 - loss) * (1.0 - degradation.loss)
+                jitter += degradation.jitter_us
+                extra += degradation.extra_latency_us
+        if changed:
+            self._degradations = live
+        rng = self.rng
+        if loss > 0 and rng.random() < loss:
+            return None
+        delay = link.latency_us + extra
+        if jitter > 0:
+            delay += rng.random() * jitter
+        return delay
+
+    # ------------------------------------------------------------------
+    # links and transmission
+    # ------------------------------------------------------------------
+
     def connect(self, src: str, dst: str, link: Link, bidirectional: bool = True) -> None:
         """Install an explicit link for the (src, dst) pair."""
         self._links[(src, dst)] = link
@@ -121,10 +291,16 @@ class Network:
 
     def send(self, src: str, dst: str, payload: Any) -> None:
         """Send ``payload`` from ``src`` to ``dst`` over the appropriate link."""
+        if self._partition is not None and self._blocked_by_partition(src, dst):
+            self.drops["partition"] += 1
+            return
         link = self._links.get((src, dst)) or self.default_link
-        delay = link.delay(self.rng)
+        if self._degradations:
+            delay = self._degraded_delay(link, src, dst)
+        else:
+            delay = link.delay(self.rng)
         if delay is None:
-            self.dropped += 1
+            self.drops["loss"] += 1
             return
         self.sim.schedule(
             delay, self._deliver, Envelope(src, dst, payload, self.sim.now)
@@ -132,7 +308,7 @@ class Network:
 
     def _deliver(self, envelope: Envelope) -> None:
         if envelope.dst in self._down:
-            self.dropped += 1
+            self.drops["endpoint_down"] += 1
             return
         inbox = self._inboxes.get(envelope.dst)
         if inbox is not None:
@@ -144,4 +320,5 @@ class Network:
             callback(envelope)
             self.delivered += 1
             return
-        self.dropped += 1  # no such endpoint (e.g. crashed and unregistered)
+        # no such endpoint (e.g. crashed and unregistered)
+        self.drops["unregistered"] += 1

@@ -8,10 +8,12 @@ lives here so both the store client and the framework reuse it.
 from __future__ import annotations
 
 import itertools
+import random
 from typing import Any, Dict, Generator, Optional, Tuple
 
 from repro.simnet.engine import Channel, Event, Simulator
 from repro.simnet.network import Envelope, Network
+from repro.util import stable_hash
 
 
 class RpcError(RuntimeError):
@@ -20,6 +22,15 @@ class RpcError(RuntimeError):
 
 class RpcTimeout(RpcError):
     """A call exhausted its retries without receiving a response."""
+
+
+class RpcGaveUp(RpcTimeout):
+    """The retry budget is spent: the endpoint stopped retransmitting.
+
+    Subclasses :class:`RpcTimeout` so existing ``except RpcTimeout``
+    handlers keep working; new code can distinguish "one attempt timed
+    out" from "the caller has given up on this destination".
+    """
 
 
 class RpcRequest:
@@ -84,6 +95,12 @@ class RpcEndpoint:
         self.messages = Channel(sim, name=f"rpc-messages({name})")
         self._pending: Dict[int, Event] = {}
         self._alive = True
+        # Deterministic per-endpoint jitter source for retransmission
+        # backoff: seeded from the endpoint name and the network seed, so a
+        # rerun with the same seeds retransmits at identical instants.
+        self._retry_rng = random.Random(
+            stable_hash(name) ^ (getattr(network, "seed", 0) * 0x9E3779B1)
+        )
         network.register_callback(name, self._on_envelope)
 
     @property
@@ -151,31 +168,61 @@ class RpcEndpoint:
         payload: Any,
         timeout_us: Optional[float] = None,
         max_retries: int = 0,
+        backoff: float = 2.0,
+        jitter_frac: float = 0.1,
+        max_timeout_us: Optional[float] = None,
     ) -> Generator:
         """Generator: issue a request, retransmitting on timeout.
 
-        Use as ``value = yield from endpoint.call(...)``. Raises
-        :class:`RpcTimeout` after ``max_retries`` retransmissions time out.
+        ``dst`` may be a name or a zero-arg callable returning a name; a
+        callable is re-resolved on every attempt, so a retransmission can
+        follow routing changes (e.g. a store failover swapping the cluster
+        map mid-call).
+
+        Use as ``value = yield from endpoint.call(...)``. Retransmission is
+        *bounded*: each retry multiplies the wait by ``backoff`` (capped at
+        ``max_timeout_us``, default 16x the base timeout) plus a
+        deterministic seeded jitter of up to ``jitter_frac`` of the current
+        wait — a storm of clients timing out together de-synchronises
+        instead of retransmitting in lockstep. After the budget of
+        ``max_retries`` retransmissions is spent the call raises
+        :class:`RpcGaveUp` (a :class:`RpcTimeout`).
 
         A timed-out attempt leaves nothing behind: the stale waiter is
         dropped from ``_pending`` by its remembered request id (O(1), where
         the seed scanned the whole table), and the lost race's
         :class:`~repro.simnet.engine.AnyOf` detaches from the loser, so a
-        late response for a retransmitted id is simply discarded.
+        late response for a retransmitted id is simply discarded. Each
+        timed-out attempt bumps ``network.rpc_timeouts``; each retransmit
+        bumps ``network.rpc_retries`` (surfaced through
+        :class:`repro.simnet.monitor.EngineCounters`).
         """
+        resolve = dst if callable(dst) else None
         attempts = max_retries + 1
+        wait = timeout_us
+        if timeout_us is not None and max_timeout_us is None:
+            max_timeout_us = timeout_us * 16.0
         for attempt in range(attempts):
-            request_id, waiter = self._issue(dst, payload)
+            target = resolve() if resolve is not None else dst
+            request_id, waiter = self._issue(target, payload)
             if timeout_us is None:
                 value = yield waiter
                 return value
-            timer = self.sim.timeout(timeout_us)
+            timer = self.sim.timeout(wait)
             winner, value = yield self.sim.any_of([waiter, timer])
             if winner is waiter:
                 return value
             # timed out: forget the stale waiter and retransmit
             self._pending.pop(request_id, None)
-        raise RpcTimeout(f"{self.name} -> {dst}: no response after {attempts} attempts")
+            self.network.rpc_timeouts += 1
+            if attempt + 1 < attempts:
+                self.network.rpc_retries += 1
+                wait = min(wait * backoff, max_timeout_us)
+                if jitter_frac > 0.0:
+                    wait += self._retry_rng.random() * jitter_frac * wait
+        self.network.rpc_gaveups += 1
+        where = target if resolve is not None else dst
+        raise RpcGaveUp(f"{self.name} -> {where}: no response after {attempts} attempts")
 
     def respond(self, request: RpcRequest, value: Any, ok: bool = True) -> None:
         """Answer ``request`` (server side)."""

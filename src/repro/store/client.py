@@ -81,6 +81,7 @@ class ClientStats:
     cached_reads: int = 0
     callbacks_received: int = 0
     retransmissions: int = 0
+    flushes_gave_up: int = 0
 
 
 class StoreClient:
@@ -175,6 +176,36 @@ class StoreClient:
     def _dst(self, storage_key: str) -> str:
         return self.cluster.endpoint_for_key(storage_key)
 
+    # How many times a blocking call / an un-ACK'd flush is reissued before
+    # giving up. Generous on purpose: a budget this size outlasts any
+    # plausible partition or store-recovery window, while still bounding
+    # the retransmission storm a permanently-dead destination can cause.
+    BLOCKING_RETRY_BUDGET = 12
+    FLUSH_RETRY_BUDGET = 100
+
+    def _blocking_call(self, storage_key: str, payload: Any) -> Generator:
+        """Issue a blocking RPC to the store instance holding ``storage_key``.
+
+        With a retransmission timeout configured, the call is retried with
+        exponential backoff (seeded jitter, bounded budget) and the
+        destination is *re-resolved from the cluster map on every attempt* —
+        a retry issued during a store failover lands on the replacement
+        instance as soon as the routing swap happens. Safe because the store
+        dedups packet-induced ops on their (key, clock, seq) identity and
+        reads are idempotent. Without a timeout this is a bare call_event
+        (the seed's behaviour: lossless links, no retransmission)."""
+        if self.retransmit_timeout_us is None:
+            result = yield self.endpoint.call_event(self._dst(storage_key), payload)
+            return result
+        result = yield from self.endpoint.call(
+            lambda: self._dst(storage_key),
+            payload,
+            timeout_us=self.retransmit_timeout_us,
+            max_retries=self.BLOCKING_RETRY_BUDGET,
+            backoff=1.5,
+        )
+        return result
+
     # ------------------------------------------------------------------
     # update path
     # ------------------------------------------------------------------
@@ -224,7 +255,7 @@ class StoreClient:
         if strategy is None:
             if need_result:
                 request.blocking = True
-                result = yield self.endpoint.call_event(self._dst(storage_key), request)
+                result = yield from self._blocking_call(storage_key, request)
                 self.stats.blocking_ops += 1
                 return result.value
             return (yield from self._nonblocking(request))
@@ -232,7 +263,7 @@ class StoreClient:
         if strategy is CacheStrategy.NON_BLOCKING:
             if need_result:
                 request.blocking = True
-                result = yield self.endpoint.call_event(self._dst(storage_key), request)
+                result = yield from self._blocking_call(storage_key, request)
                 self.stats.blocking_ops += 1
                 return result.value
             return (yield from self._nonblocking(request))
@@ -249,7 +280,7 @@ class StoreClient:
             # Rare update: blocking; store returns the updated object and
             # pushes callbacks to the other caching instances.
             request.blocking = True
-            result: OpResult = yield self.endpoint.call_event(self._dst(storage_key), request)
+            result: OpResult = yield from self._blocking_call(storage_key, request)
             self.stats.blocking_ops += 1
             if storage_key in self._readheavy_cache or storage_key in self._watched:
                 self._readheavy_cache[storage_key] = result.value
@@ -259,7 +290,7 @@ class StoreClient:
         if self._exclusive.get(obj_name, False):
             return (yield from self._local_apply_and_flush(request, spec))
         request.blocking = True
-        result = yield self.endpoint.call_event(self._dst(storage_key), request)
+        result = yield from self._blocking_call(storage_key, request)
         self.stats.blocking_ops += 1
         return result.value
 
@@ -290,9 +321,7 @@ class StoreClient:
         if request.key not in self._cache and request.op not in self._OVERWRITE_OPS:
             request.blocking = True
             request.return_state = True
-            result: OpResult = yield self.endpoint.call_event(
-                self._dst(request.key), request
-            )
+            result: OpResult = yield from self._blocking_call(request.key, request)
             self.stats.blocking_ops += 1
             if result.state is not None or result.emulated:
                 if result.state is not None:
@@ -312,25 +341,37 @@ class StoreClient:
         return return_value
         yield  # pragma: no cover - generator protocol
 
-    def _track_ack(self, request: OpRequest, ack: Event) -> None:
+    def _track_ack(self, request: OpRequest, ack: Event, attempt: int = 0) -> None:
         self._ack_seq += 1
         ack_id = self._ack_seq
         self._pending_acks[ack_id] = (ack, request)
         ack.add_callback(lambda _event: self._pending_acks.pop(ack_id, None))
         if self.retransmit_timeout_us is not None:
-            self.sim.schedule(self.retransmit_timeout_us, self._maybe_retransmit, ack_id, request, 0)
+            self.sim.schedule(
+                self.retransmit_timeout_us, self._maybe_retransmit, ack_id, request, attempt
+            )
 
     def _maybe_retransmit(self, ack_id: int, request: OpRequest, attempt: int) -> None:
-        if not self._alive or ack_id not in self._pending_acks or attempt >= 5:
+        """Reissue an un-ACK'd flush (bounded: FLUSH_RETRY_BUDGET attempts).
+
+        The destination is re-resolved from the cluster map on every
+        attempt, so retransmissions follow a store failover. The seed
+        retransmitted forever; a budget bounds the storm a permanently
+        unreachable store causes, and give-ups are counted so invariant
+        checkers can flag potentially-lost state."""
+        if not self._alive or ack_id not in self._pending_acks:
             return
         if not (request.log_update and request.clock):
             # Only packet-induced ops are retransmitted: their (key, clock,
             # seq) identity makes retransmission idempotent at the store.
             return
         self._pending_acks.pop(ack_id, None)
+        if attempt + 1 >= self.FLUSH_RETRY_BUDGET:
+            self.stats.flushes_gave_up += 1
+            return
         ack = self.endpoint.call_event(self._dst(request.key), request)
         self.stats.retransmissions += 1
-        self._track_ack(request, ack)
+        self._track_ack(request, ack, attempt + 1)
 
     def ack_barrier(self) -> Event:
         """An event that fires once every outstanding un-ACK'd op is ACK'd.
@@ -376,8 +417,8 @@ class StoreClient:
             if storage_key in self._readheavy_cache:
                 self.stats.cached_reads += 1
                 return self._readheavy_cache[storage_key]
-            yield self.endpoint.call_event(
-                self._dst(storage_key),
+            yield from self._blocking_call(
+                storage_key,
                 WatchRequest(key=storage_key, endpoint=self.instance_id, kind="value"),
             )
             self._watched.add(storage_key)
@@ -406,8 +447,8 @@ class StoreClient:
         ctx: Optional[PacketContext] = None,
     ) -> Generator:
         ctx = ctx or self._default_ctx
-        result: ReadResult = yield self.endpoint.call_event(
-            self._dst(storage_key), ReadRequest(key=storage_key, instance=self.instance_id)
+        result: ReadResult = yield from self._blocking_call(
+            storage_key, ReadRequest(key=storage_key, instance=self.instance_id)
         )
         self.stats.store_reads += 1
         if spec.scope is Scope.CROSS_FLOW:
@@ -424,16 +465,16 @@ class StoreClient:
         """Associate this instance with a per-flow object on first touch."""
         if storage_key in self._owned:
             return
-        yield self.endpoint.call_event(
-            self._dst(storage_key),
+        yield from self._blocking_call(
+            storage_key,
             OwnerRequest(key=storage_key, instance=self.instance_id, action="associate"),
         )
         self._owned[storage_key] = (obj_name, flow_key)
 
     def get_owner(self, obj_name: str, flow_key: Optional[Tuple]) -> Generator:
         _sk, storage_key = self._key(obj_name, flow_key)
-        owner = yield self.endpoint.call_event(
-            self._dst(storage_key), OwnerRequest(key=storage_key, action="get")
+        owner = yield from self._blocking_call(
+            storage_key, OwnerRequest(key=storage_key, action="get")
         )
         return owner
 
@@ -445,13 +486,13 @@ class StoreClient:
         """Flush the cached value, then release ownership (Figure 4 step 5)."""
         _sk, storage_key = self._key(obj_name, flow_key)
         if storage_key in self._cache:
-            yield self.endpoint.call_event(
-                self._dst(storage_key),
+            yield from self._blocking_call(
+                storage_key,
                 WriteRequest(key=storage_key, value=self._cache.pop(storage_key),
                              instance=self.instance_id),
             )
-        yield self.endpoint.call_event(
-            self._dst(storage_key),
+        yield from self._blocking_call(
+            storage_key,
             OwnerRequest(key=storage_key, instance=self.instance_id, action="disassociate"),
         )
         self._owned.pop(storage_key, None)
@@ -459,8 +500,8 @@ class StoreClient:
     def watch_owner(self, obj_name: str, flow_key: Optional[Tuple]) -> Generator:
         """Register for ownership-change callbacks on a per-flow object."""
         _sk, storage_key = self._key(obj_name, flow_key)
-        yield self.endpoint.call_event(
-            self._dst(storage_key),
+        yield from self._blocking_call(
+            storage_key,
             WatchRequest(key=storage_key, endpoint=self.instance_id, kind="owner"),
         )
 
@@ -510,9 +551,11 @@ class StoreClient:
             self._cache.pop(key, None)
             self._owned.pop(key, None)
         moved = 0
-        for dst, keys in sorted(by_store.items()):
-            moved += yield self.endpoint.call_event(
-                dst,
+        for _dst, keys in sorted(by_store.items()):
+            # Re-resolve through the group's first key so a retry after a
+            # store failover follows the cluster map.
+            moved += yield from self._blocking_call(
+                keys[0],
                 BulkOwnerMove(
                     keys=tuple(keys),
                     old_instance=self.instance_id,
@@ -552,9 +595,8 @@ class StoreClient:
         """Store-computed non-deterministic value for the current packet."""
         ctx = ctx or self._default_ctx
         _sk, storage_key = self._key("__nondet__", None)
-        value = yield self.endpoint.call_event(
-            self._dst(storage_key),
-            NonDetRequest(clock=ctx.clock, purpose=purpose, kind=kind),
+        value = yield from self._blocking_call(
+            storage_key, NonDetRequest(clock=ctx.clock, purpose=purpose, kind=kind)
         )
         return value
 
@@ -580,6 +622,23 @@ class StoreClient:
                 del self._pending_acks[ack_id]
                 dropped += 1
         return dropped
+
+    def cancel_pending_flushes(self, identities) -> int:
+        """Cancel un-ACK'd flushes whose ``(key, clock, seq)`` is covered.
+
+        Store recovery passes the identities it accounts for — ops in the
+        checkpoint's duplicate-suppression log plus ops it re-executes from
+        this client's WAL. Retransmitting those would double-apply at the
+        replacement (its dedup log no longer remembers old ACK-lost ops).
+        Un-covered pending flushes keep retransmitting: they were lost in
+        flight and the retransmission is what recovers them.
+        """
+        cancelled = 0
+        for ack_id, (_event, request) in list(self._pending_acks.items()):
+            if (request.key, request.clock, request.seq) in identities:
+                del self._pending_acks[ack_id]
+                cancelled += 1
+        return cancelled
 
     # ------------------------------------------------------------------
     # callback handling

@@ -72,12 +72,17 @@ class Checkpoint:
     """A point-in-time snapshot with TS metadata (§5.4).
 
     ``ts`` maps key -> {instance -> clock of that instance's last executed
-    update on the key at checkpoint time}.
+    update on the key at checkpoint time}. ``update_log`` is the
+    duplicate-suppression log at checkpoint time ((key, clock) -> {seq ->
+    committed value}): recovery seeds the replacement with it so a client
+    retransmitting an op whose effect the checkpoint already contains is
+    emulated rather than double-applied.
     """
 
     taken_at: float
     data: Dict[str, Any]
     ts: Dict[str, Dict[str, int]]
+    update_log: Dict[Tuple[str, int], Dict[int, Any]] = field(default_factory=dict)
 
 
 @dataclass
@@ -396,7 +401,12 @@ class DatastoreInstance:
         self._data[key] = new_value
         self.stats.ops_applied += 1
         if op.clock and op.instance:
-            self._ts.setdefault(key, {})[op.instance] = op.clock
+            # Monotone per instance: a loss-retransmitted op can arrive
+            # after a later-issued one, and letting it regress the TS would
+            # make a checkpoint re-execute ops it already contains.
+            ts = self._ts.setdefault(key, {})
+            if op.clock > ts.get(op.instance, 0):
+                ts[op.instance] = op.clock
         if self.dedup_enabled and op.log_update and op.clock:
             self._update_log.setdefault((key, op.clock), {})[op.seq] = return_value
         if op.vector_tag and op.clock and self.root_endpoint:
@@ -530,6 +540,9 @@ class DatastoreInstance:
             taken_at=self.sim.now,
             data=copy.deepcopy(self._data),
             ts={key: dict(per_key) for key, per_key in self._ts.items()},
+            update_log={
+                log_key: dict(seqs) for log_key, seqs in self._update_log.items()
+            },
         )
         return self.last_checkpoint
 

@@ -244,6 +244,16 @@ def recover_store_instance(
             result.per_flow_keys += 1
 
     # -- shared state from checkpoint + WALs (Theorems B.5.2/B.5.3) ------
+    # Seed the replacement's duplicate-suppression log from the checkpoint:
+    # every identity in it is already reflected in the checkpoint data, so
+    # a client retransmitting one (its ACK was lost with the old instance)
+    # must be emulated, not re-applied.
+    covered: set = set()
+    if checkpoint:
+        for (log_key, clock), seqs in checkpoint.update_log.items():
+            replacement._update_log.setdefault((log_key, clock), {}).update(seqs)
+            for seq in seqs:
+                covered.add((log_key, clock, seq))
     wals = {client.instance_id: client.wal for client in clients}
     shared_keys = sorted(
         {entry.key for wal in wals.values() for entry in wal.updates}
@@ -256,6 +266,7 @@ def recover_store_instance(
         replacement._data[key] = plan.base_value
         replacement._ts[key] = dict(plan.base_ts)
         for instance, entry in plan.entries:
+            covered.add((key, entry.clock, entry.seq))
             replacement.apply_operation(
                 OpRequest(
                     key=key,
@@ -274,6 +285,14 @@ def recover_store_instance(
             selected_read=plan.selected_read,
         )
         result.reexecuted_ops += len(plan.entries)
+
+    # Reconcile clients' pending retransmissions against what the rebuild
+    # covers (checkpointed identities + re-executed WAL entries): covered
+    # ops must not be retransmitted (double-apply), un-covered ones must
+    # keep retransmitting — they were lost in flight and the retransmission
+    # to the replacement is exactly what recovers them.
+    for client in clients:
+        client.cancel_pending_flushes(covered)
 
     cluster.replace_instance(failed.name, replacement)
     result.finished_at = sim.now

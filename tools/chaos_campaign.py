@@ -1,0 +1,140 @@
+#!/usr/bin/env python
+"""Run the chaos campaign and record ``BENCH_recovery.json``.
+
+Sweeps N seeds across the named fault scenarios (default: all of
+``repro.chaos.SCENARIOS``), checks every run against the correctness
+invariants (loss-free state, exactly-once externalization, per-flow
+ordering, no stranded ownership, drained root logs, completed
+recoveries), and aggregates recovery-time distributions into a
+machine-readable report.
+
+Usage::
+
+    PYTHONPATH=src python tools/chaos_campaign.py --seeds 20
+    PYTHONPATH=src python tools/chaos_campaign.py --seeds 3 \
+        --scenarios nf-crash store-crash root-crash      # CI smoke
+    PYTHONPATH=src python tools/chaos_campaign.py --seeds 5 \
+        --detection-us 50 --detection-misses 2           # heartbeat detector
+
+Exit status is non-zero if any invariant was violated — this is the
+correctness gate the CI ``chaos-smoke`` job enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "chaos campaign (times in simulated microseconds)",
+        f"{'scenario':<16} {'runs':>5} {'recov':>6} {'viol':>5}"
+        f" {'p5':>8} {'p50':>8} {'p95':>8}",
+    ]
+    for name, row in payload["scenarios"].items():
+        pct = row.get("recovery_us_percentiles", {})
+        lines.append(
+            f"{name:<16} {row['runs']:>5} {row['recoveries']:>6}"
+            f" {row['violations']:>5}"
+            f" {pct.get('p5', '-'):>8} {pct.get('p50', '-'):>8}"
+            f" {pct.get('p95', '-'):>8}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    from repro.chaos import SCENARIOS, DetectionModel, run_campaign
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=20, help="seeds per scenario")
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="subset of scenarios (default: all)",
+    )
+    parser.add_argument(
+        "--detection-us",
+        type=float,
+        default=0.0,
+        help="heartbeat interval in µs (0 = the paper's instantaneous detector)",
+    )
+    parser.add_argument(
+        "--detection-misses",
+        type=int,
+        default=1,
+        help="missed heartbeats before declaring death",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_recovery.json"),
+        help="output path (default: BENCH_recovery.json at the repo root)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-run progress"
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+
+    detection = None
+    if args.detection_us > 0:
+        detection = DetectionModel(
+            heartbeat_interval_us=args.detection_us, misses=args.detection_misses
+        )
+
+    def progress(outcome):
+        if args.quiet:
+            return
+        mark = "ok" if outcome.ok else f"{len(outcome.violations)} VIOLATIONS"
+        print(f"  {outcome.scenario:<16} seed={outcome.seed:<3} {mark}", flush=True)
+
+    t0 = time.time()
+    report = run_campaign(
+        range(args.seeds),
+        scenario_names=args.scenarios,
+        detection=detection,
+        progress=progress,
+    )
+    wall_s = time.time() - t0
+
+    payload = report.as_dict()
+    payload["meta"] = {
+        "benchmark": "chaos_campaign",
+        "seeds": args.seeds,
+        "scenarios": args.scenarios or sorted(SCENARIOS),
+        "detection_us": args.detection_us,
+        "detection_misses": args.detection_misses,
+        "wall_s": round(wall_s, 1),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    print(render(payload))
+    print(f"\nwrote {args.output} ({len(report.outcomes)} runs, {wall_s:.1f}s)")
+    if not report.ok:
+        print(
+            f"INVARIANT VIOLATIONS: {report.total_violations}", file=sys.stderr
+        )
+        for violation in payload["violations"]:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("all invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
