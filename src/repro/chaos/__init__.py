@@ -16,7 +16,9 @@ Layers:
   failure-detection model, executing schedules against a runtime;
 * :mod:`repro.chaos.invariants` — the post-run checkers;
 * :mod:`repro.chaos.campaign` — named scenarios, N-seed campaign driver
-  and the :class:`CampaignReport` the CLI serializes.
+  and the :class:`CampaignReport` the CLI serializes;
+* :mod:`repro.chaos.overload` — overload scenarios (§8): bursts, slow
+  stores and flash crowds, with shed accounting and the autoscaler loop.
 """
 
 from repro.chaos.campaign import (
@@ -28,7 +30,18 @@ from repro.chaos.campaign import (
     run_scenario,
 )
 from repro.chaos.director import ChaosDirector, DetectionModel
-from repro.chaos.invariants import InvariantViolation, check_invariants
+from repro.chaos.invariants import (
+    InvariantViolation,
+    check_invariants,
+    check_sheds_accounted,
+)
+from repro.chaos.overload import (
+    OVERLOAD_SCENARIOS,
+    OverloadOutcome,
+    OverloadSpec,
+    measure_load_point,
+    run_overload_scenario,
+)
 from repro.chaos.schedule import (
     CrashNF,
     CrashRoot,
@@ -53,12 +66,18 @@ __all__ = [
     "LatencySpike",
     "LinkLossBurst",
     "Partition",
+    "OVERLOAD_SCENARIOS",
+    "OverloadOutcome",
+    "OverloadSpec",
     "SCENARIOS",
     "Schedule",
     "ScenarioOutcome",
     "ScenarioSpec",
     "check_invariants",
+    "check_sheds_accounted",
+    "measure_load_point",
     "random_schedule",
     "run_campaign",
+    "run_overload_scenario",
     "run_scenario",
 ]

@@ -263,6 +263,43 @@ def check_no_gaveups(runtime) -> List[InvariantViolation]:
     return violations
 
 
+SHED_CAUSES = ("overload_queue", "nic_ring")
+
+
+def check_sheds_accounted(
+    runtime, injected: int, causes: Tuple[str, ...] = SHED_CAUSES
+) -> List[InvariantViolation]:
+    """Every injected packet either left the chain or was *accounted* for.
+
+    Overload resilience (§8) is allowed to shed load — but never silently:
+    each shed copy must land in the Network per-cause drop ledger (queue
+    sheds, NIC ring tail-drops) or the root's at-threshold counter. A gap
+    between ``injected`` and ``egressed + accounted`` is exactly the
+    silent-loss bug class the backpressure layer exists to rule out.
+
+    Only valid after the run has quiesced (nothing still queued).
+    """
+    egressed = {
+        payload for payload, _clock in egress_records(runtime) if payload is not None
+    }
+    shed = sum(runtime.network.drops.get(cause, 0) for cause in causes)
+    at_root = sum(root.stats.dropped_at_threshold for root in runtime.roots)
+    accounted = len(egressed) + shed + at_root
+    if accounted == injected:
+        return []
+    direction = "vanished without a ledger entry" if accounted < injected else (
+        "over-accounted (double-counted shed or duplicated egress)"
+    )
+    return [
+        InvariantViolation(
+            "sheds-accounted",
+            f"{abs(injected - accounted)} packets {direction}: "
+            f"injected={injected}, egressed={len(egressed)}, "
+            f"shed={shed}, at_root={at_root}",
+        )
+    ]
+
+
 def check_recoveries_succeeded(supervisor) -> List[InvariantViolation]:
     """Every supervised recovery ran to completion."""
     violations: List[InvariantViolation] = []

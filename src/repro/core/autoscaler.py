@@ -1,0 +1,287 @@
+"""Closed-loop elastic autoscaler (§3, §8).
+
+The paper's vertex managers run operator-supplied scaling logic and emit
+decisions; CHC's job is to make the resulting reconfiguration safe. The
+seed repo stopped at the decision — this controller closes the loop: it
+consumes :class:`~repro.core.vertex_manager.VertexManager` scale events
+and *actually* adds or retires instances, moving per-flow state through
+the Figure-4 handover so the action is loss-free and order-preserving.
+
+Routing discipline: the controller NEVER mutates ``splitter.hash_members``.
+Flipping the hash ring mid-traffic silently remaps flows that are queued
+but not yet claimed — their updates would later be rejected by the store's
+ownership check (state loss without a crash). Instead, autoscaled
+instances join only ``splitter.instances`` and receive traffic exclusively
+via the per-key overrides that :func:`~repro.core.handover.move_flows`
+installs, which is exactly the splitter's documented contract.
+
+Scale-in is drain-then-retire: the victim's owned keys move back to their
+hash homes, its queues and NIC ring empty, the flush ACK fence passes, and
+only then does :meth:`ChainRuntime.retire_instance` remove it. If the
+drain budget expires the retirement is aborted (the instance keeps
+running) rather than risk dropping state — an autoscaler must degrade to
+"too many instances", never to "lost flows".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Generator, List, Tuple
+
+from repro.core.handover import move_flows
+from repro.util import stable_hash
+
+
+@dataclass
+class ScaleAction:
+    """One completed (or aborted) elastic action, for the timeline."""
+
+    kind: str  # "scale_out" | "scale_in"
+    vertex: str
+    instance: str
+    started_at: float
+    finished_at: float = 0.0
+    keys_moved: int = 0
+    ok: bool = True
+    note: str = ""
+
+
+@dataclass
+class AutoscaleStats:
+    scale_outs: int = 0
+    scale_ins: int = 0
+    aborted: int = 0
+    skipped_cooldown: int = 0
+    skipped_busy: int = 0
+    skipped_limit: int = 0
+
+
+class AutoscaleController:
+    """Subscribes to vertex-manager scale events and executes them."""
+
+    def __init__(
+        self,
+        runtime,
+        min_instances: int = 1,
+        max_instances: int = 4,
+        cooldown_us: float = 5_000.0,
+        drain_poll_us: float = 200.0,
+        drain_budget_us: float = 50_000.0,
+    ):
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.min_instances = min_instances
+        self.max_instances = max_instances
+        self.cooldown_us = cooldown_us
+        self.drain_poll_us = drain_poll_us
+        self.drain_budget_us = drain_budget_us
+        self.stats = AutoscaleStats()
+        self.actions: List[ScaleAction] = []
+        self._busy: set = set()  # vertex names with an action in flight
+        self._last_done: Dict[str, float] = {}
+        self._spawned: Dict[str, List[str]] = {}  # vertex -> autoscaled ids
+        self._seq = 0
+        for vertex_name, manager in runtime.managers.items():
+            self.attach(vertex_name, manager)
+
+    def attach(self, vertex_name: str, manager) -> None:
+        """Subscribe to one vertex manager (also called from ctor)."""
+        manager.on_scale.append(
+            lambda decision, _v=vertex_name: self._on_scale(_v, decision)
+        )
+
+    # ------------------------------------------------------------------
+    # decision intake
+    # ------------------------------------------------------------------
+
+    def _alive_instances(self, vertex_name: str) -> List:
+        return [i for i in self.runtime.instances_of(vertex_name) if i.alive]
+
+    def _on_scale(self, vertex_name: str, decision: Any) -> None:
+        action = decision.get("action") if isinstance(decision, dict) else decision
+        if action not in ("scale_up", "scale_down"):
+            return
+        if vertex_name in self._busy:
+            self.stats.skipped_busy += 1
+            return
+        if self.sim.now - self._last_done.get(vertex_name, -1e18) < self.cooldown_us:
+            self.stats.skipped_cooldown += 1
+            return
+        n_alive = len(self._alive_instances(vertex_name))
+        if action == "scale_up":
+            if n_alive >= self.max_instances:
+                self.stats.skipped_limit += 1
+                return
+            self._busy.add(vertex_name)
+            self.sim.process(
+                self._scale_out(vertex_name), name=f"scale-out-{vertex_name}"
+            )
+        else:
+            victims = [
+                i for i in self._spawned.get(vertex_name, [])
+                if i in self.runtime.instances
+            ]
+            if n_alive <= self.min_instances or not victims:
+                self.stats.skipped_limit += 1
+                return
+            self._busy.add(vertex_name)
+            self.sim.process(
+                self._scale_in(vertex_name, victims[-1]),
+                name=f"scale-in-{vertex_name}",
+            )
+
+    # ------------------------------------------------------------------
+    # scale-out: add an instance, move a fair share of hot flows to it
+    # ------------------------------------------------------------------
+
+    def _snapshot_holders(
+        self, vertex_name: str
+    ) -> Tuple[Dict[Tuple, str], Dict[str, int]]:
+        """Current scope-key -> holder map plus per-holder queue depth."""
+        splitter = self.runtime.splitter(vertex_name)
+        holders: Dict[Tuple, str] = {}
+        load: Dict[str, int] = {}
+        for instance in self._alive_instances(vertex_name):
+            load[instance.instance_id] = instance.queue_depth
+            for _sk, (_obj, flow_key) in instance.client.owned_items().items():
+                if flow_key is None:
+                    continue
+                scope_key = self.runtime._project(flow_key, splitter.partition_fields)
+                if scope_key is not None:
+                    holders[scope_key] = instance.instance_id
+        return holders, load
+
+    def _scale_out(self, vertex_name: str) -> Generator:
+        self._seq += 1
+        started = self.sim.now
+        action = ScaleAction("scale_out", vertex_name, "", started)
+        try:
+            new = self.runtime.add_instance(vertex_name, suffix=f"as{self._seq}")
+            action.instance = new.instance_id
+            self._spawned.setdefault(vertex_name, []).append(new.instance_id)
+            holders, load = self._snapshot_holders(vertex_name)
+            n_after = len(self._alive_instances(vertex_name))
+            share = len(holders) // n_after if n_after else 0
+            if share:
+                # heaviest holders shed first; key tiebreak keeps runs
+                # deterministic under one seed
+                ranked = sorted(
+                    holders.items(),
+                    key=lambda kv: (-load.get(kv[1], 0), kv[0]),
+                )[:share]
+                chosen = dict(ranked)
+                result = yield from move_flows(
+                    self.runtime,
+                    vertex_name,
+                    list(chosen),
+                    new.instance_id,
+                    current_of=chosen,
+                )
+                action.keys_moved = result.n_keys
+            yield from self.runtime.notify_split_changed(vertex_name)
+            self.stats.scale_outs += 1
+        finally:
+            action.finished_at = self.sim.now
+            self.actions.append(action)
+            self._busy.discard(vertex_name)
+            self._last_done[vertex_name] = self.sim.now
+
+    # ------------------------------------------------------------------
+    # scale-in: move state home, drain, then retire
+    # ------------------------------------------------------------------
+
+    def _hash_home(self, splitter, scope_key: Tuple) -> str:
+        # The victim never sat in hash_members, so its hash home is always
+        # another instance — no self-moves.
+        return splitter.hash_members[stable_hash(scope_key) % len(splitter.hash_members)]
+
+    def _victim_keys_by_home(self, splitter, victim) -> Dict[str, Dict[Tuple, str]]:
+        by_home: Dict[str, Dict[Tuple, str]] = {}
+        for _sk, (_obj, flow_key) in victim.client.owned_items().items():
+            if flow_key is None:
+                continue
+            scope_key = self.runtime._project(flow_key, splitter.partition_fields)
+            if scope_key is None:
+                continue
+            home = self._hash_home(splitter, scope_key)
+            by_home.setdefault(home, {})[scope_key] = victim.instance_id
+        return by_home
+
+    def _scale_in(self, vertex_name: str, victim_id: str) -> Generator:
+        started = self.sim.now
+        action = ScaleAction("scale_in", vertex_name, victim_id, started)
+        deadline = started + self.drain_budget_us
+        splitter = self.runtime.splitter(vertex_name)
+        victim = self.runtime.instances[victim_id]
+        try:
+            while True:
+                # 1. hand every owned flow back to its hash home via the
+                #    Figure-4 machinery (ownership + buffering, no loss)
+                by_home = self._victim_keys_by_home(splitter, victim)
+                for home, keys in sorted(by_home.items()):
+                    result = yield from move_flows(
+                        self.runtime, vertex_name, list(keys), home, current_of=keys
+                    )
+                    action.keys_moved += result.n_keys
+                    # a key now routed to its hash home needs no override
+                    for scope_key in keys:
+                        if splitter.overrides.get(scope_key) == home:
+                            del splitter.overrides[scope_key]
+
+                # 2. drain: queued packets, NIC ring, un-ACK'd flushes
+                while self.sim.now < deadline:
+                    nic = self.runtime.nics.get(victim_id)
+                    if victim.queue_depth == 0 and (nic is None or len(nic._queue) == 0):
+                        break
+                    yield self.sim.timeout(self.drain_poll_us)
+                yield victim.client.ack_barrier()
+
+                # 3. re-check: packets drained in step 2 may have claimed
+                #    new ownership (a flow's first packet landed mid-drain)
+                if not self._victim_keys_by_home(splitter, victim):
+                    break
+                if self.sim.now >= deadline:
+                    action.ok = False
+                    action.note = "drain budget exceeded; retirement aborted"
+                    self.stats.aborted += 1
+                    return
+            self.runtime.retire_instance(victim_id)
+            spawned = self._spawned.get(vertex_name, [])
+            if victim_id in spawned:
+                spawned.remove(victim_id)
+            yield from self.runtime.notify_split_changed(vertex_name)
+            self.stats.scale_ins += 1
+        finally:
+            action.finished_at = self.sim.now
+            self.actions.append(action)
+            self._busy.discard(vertex_name)
+            self._last_done[vertex_name] = self.sim.now
+
+    # ------------------------------------------------------------------
+    # inspection
+    # ------------------------------------------------------------------
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "scale_outs": self.stats.scale_outs,
+            "scale_ins": self.stats.scale_ins,
+            "aborted": self.stats.aborted,
+            "skipped": {
+                "cooldown": self.stats.skipped_cooldown,
+                "busy": self.stats.skipped_busy,
+                "limit": self.stats.skipped_limit,
+            },
+            "actions": [
+                {
+                    "kind": a.kind,
+                    "vertex": a.vertex,
+                    "instance": a.instance,
+                    "started_at": a.started_at,
+                    "finished_at": a.finished_at,
+                    "keys_moved": a.keys_moved,
+                    "ok": a.ok,
+                    "note": a.note,
+                }
+                for a in self.actions
+            ],
+        }

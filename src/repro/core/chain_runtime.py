@@ -33,7 +33,12 @@ from repro.core.bitvector import TagRegistry
 from repro.core.clock import clock_root
 from repro.core.dag import LogicalChain
 from repro.core.duplicates import DuplicateFilter
-from repro.core.instance import NFInstance
+from repro.core.instance import (
+    NFInstance,
+    POLICY_BLOCK,
+    SHED_CAUSE_NIC,
+    SHED_CAUSE_QUEUE,
+)
 from repro.core.nf_api import Output
 from repro.core.root import DeleteRequest, Root
 from repro.core.splitter import FIVE_TUPLE, MoveMarker, Splitter
@@ -47,12 +52,23 @@ from repro.simnet.monitor import (
 )
 from repro.simnet.network import Link, Network
 from repro.simnet.nic import Nic
+from repro.store.breaker import CircuitBreaker
 from repro.store.client import StoreClient
 from repro.store.cluster import StoreCluster
 from repro.store.datastore import DatastoreInstance
 from repro.traffic.packet import Packet
 
 _FIELD_POSITION = {"src_ip": 0, "dst_ip": 1, "src_port": 2, "dst_port": 3, "proto": 4}
+
+
+def _is_control_item(item: Any) -> bool:
+    """NIC never-drop predicate: in-band control / recovery traffic."""
+    return (
+        getattr(item, "control", None) is not None
+        or getattr(item, "mark_first", False)
+        or getattr(item, "replayed", False)
+        or getattr(item, "replay_end", False)
+    )
 
 
 @dataclass
@@ -94,6 +110,24 @@ class RuntimeParams:
     checkpoint_interval_us: Optional[float] = None
     seed: int = 0
 
+    # --- overload resilience (§8; all defaults preserve seed behaviour) ---
+    # Bounded instance queues: total backlog bound per NF instance (None =
+    # unbounded, the seed's behaviour) and the policy applied when full.
+    instance_queue_capacity: Optional[int] = None
+    worker_queue_capacity: Optional[int] = None  # BLOCK: per-worker bound
+    overload_policy: str = "block"  # "block" | "drop" | "shed"
+    # Finite NIC rings: tail drops are folded into the Network drop ledger
+    # and reported to the root so shed packets are never silent loss.
+    nic_queue_limit: Optional[int] = None
+    # Store admission control: aggregate thread-queue budget per instance.
+    store_inflight_limit: Optional[int] = None
+    store_overload_retry_us: float = 50.0
+    # Client-side circuit breaker over store access.
+    breaker_enabled: bool = False
+    breaker_failure_threshold: int = 5
+    breaker_open_us: float = 2_000.0
+    breaker_slow_call_us: Optional[float] = None
+
     def proc_time_for(self, vertex: str) -> float:
         return self.proc_time_overrides.get(vertex, self.proc_time_us)
 
@@ -131,6 +165,8 @@ class ChainRuntime:
                 checkpoint_interval_us=self.params.checkpoint_interval_us,
                 dedup_enabled=self.params.store_dedup,
                 seed=self.params.seed + i,
+                inflight_limit=self.params.store_inflight_limit,
+                overload_retry_after_us=self.params.store_overload_retry_us,
             )
             for i in range(n_store_instances)
         ]
@@ -217,6 +253,16 @@ class ChainRuntime:
             raise ValueError(f"instance {instance_id!r} already exists")
         nf = vertex.nf_factory()
         specs = nf.state_specs()
+        breaker = None
+        if self.params.breaker_enabled:
+            breaker = CircuitBreaker(
+                self.sim,
+                name=f"{instance_id}-breaker",
+                failure_threshold=self.params.breaker_failure_threshold,
+                open_us=self.params.breaker_open_us,
+                slow_call_us=self.params.breaker_slow_call_us,
+                seed=self.params.seed,
+            )
         client = StoreClient(
             self.sim,
             self.network,
@@ -228,6 +274,7 @@ class ChainRuntime:
             wait_for_acks=self.params.wait_for_acks,
             caching_enabled=self.params.caching_enabled,
             retransmit_timeout_us=self.params.retransmit_timeout_us,
+            breaker=breaker,
         )
         for op_name, op_fn in nf.custom_operations().items():
             client.registry.register(op_name, op_fn, allow_replace=True)
@@ -242,6 +289,9 @@ class ChainRuntime:
             proc_time_us=self.params.proc_time_for(vertex_name),
             extra_delay=extra_delay,
             start_buffering=start_buffering,
+            queue_capacity=self.params.instance_queue_capacity,
+            worker_capacity=self.params.worker_queue_capacity,
+            overload_policy=self.params.overload_policy,
         )
         self.instances[instance_id] = instance
         self.vertex_instances[vertex_name].append(instance_id)
@@ -250,7 +300,14 @@ class ChainRuntime:
             self.params.nic_rate_gbps,
             deliver=instance.enqueue,
             name=f"{instance_id}-nic",
+            queue_limit=self.params.nic_queue_limit,
             per_packet_overhead_bits=self.params.nic_overhead_bits,
+            # ring tail drops feed the unified drop ledger + root accounting
+            on_drop=lambda item, _iid=instance_id: self._on_nic_drop(_iid, item),
+            # handover markers and recovery traffic must never tail-drop
+            never_drop=_is_control_item,
+            # a bounded instance input pushes back on the NIC drain (BLOCK)
+            deliver_wait=instance.input.space_event,
         )
         self.filters[instance_id] = DuplicateFilter(
             instance_id, enabled=self.params.suppress_duplicates
@@ -265,6 +322,30 @@ class ChainRuntime:
             # caching rights from the current split like everyone else
             for obj_name, spec in instance.client.specs.items():
                 instance.client._exclusive[obj_name] = splitter.grants_exclusive(spec)
+        return instance
+
+    def retire_instance(self, instance_id: str) -> NFInstance:
+        """Gracefully remove an instance (autoscaler scale-in, §8).
+
+        The caller must already have drained it: queues empty, pending
+        flush ACKs fenced, owned per-flow state moved away via the Figure-4
+        handover. Unlike :meth:`NFInstance.fail` this is an *orderly*
+        retirement — the supervisor will not treat it as a crash.
+        """
+        instance = self.instances.pop(instance_id, None)
+        if instance is None:
+            raise KeyError(f"unknown instance {instance_id!r}")
+        self.vertex_instances[instance.vertex_name] = [
+            i for i in self.vertex_instances[instance.vertex_name] if i != instance_id
+        ]
+        splitter = self.splitters.get(instance.vertex_name)
+        if splitter is not None:
+            splitter.remove_instance(instance_id)
+        nic = self.nics.pop(instance_id, None)
+        if nic is not None:
+            nic.fail()
+        self.filters.pop(instance_id, None)
+        instance.fail()
         return instance
 
     def instance(self, instance_id: str) -> NFInstance:
@@ -413,6 +494,73 @@ class ChainRuntime:
         if destinations:
             self.root_for(packet.clock).note_destination(packet.clock, destinations[0])
 
+    # ------------------------------------------------------------------
+    # overload shedding (§8)
+    # ------------------------------------------------------------------
+
+    def note_shed(self, instance: Optional[NFInstance], packet: Packet,
+                  cause: str = SHED_CAUSE_QUEUE) -> None:
+        """Account one deliberately shed packet copy — never silent loss.
+
+        The drop lands in the Network per-cause ledger (what the chaos
+        invariant checkers audit) and the copy reports done to its root
+        with whatever bit vector it accumulated: upstream commit signals
+        XOR those tags off exactly as on the normal drop path in ``emit``,
+        so the root log drains and the delete protocol stays live.
+        """
+        self.network.account_drop(cause)
+        if packet.clock:
+            self.root_for(packet.clock).report_done(
+                packet.clock, packet.bitvector, packet.generation
+            )
+
+    def _on_nic_drop(self, instance_id: str, item: Any) -> None:
+        """A finite NIC ring tail-dropped ``item`` (satellite: unified
+        ledger — ring drops used to be invisible to the checkers)."""
+        if isinstance(item, Packet):
+            self.note_shed(self.instances.get(instance_id), item, SHED_CAUSE_NIC)
+        else:
+            self.network.account_drop(SHED_CAUSE_NIC)
+
+    @property
+    def _backpressure_hops(self) -> bool:
+        """BLOCK policy + finite rings: emit waits for downstream NIC space
+        instead of tail-dropping on NF->NF hops."""
+        return (
+            self.params.overload_policy == POLICY_BLOCK
+            and self.params.nic_queue_limit is not None
+        )
+
+    def _await_hop_space(self, vertex_name: str, packet: Packet) -> Generator:
+        """Park the emitting worker until the destination NIC(s) for this
+        packet have ring space (hop-by-hop backpressure).
+
+        The destination is *predicted* without calling ``route`` (route
+        mutates pending-``mark_first`` state and must run exactly once, in
+        ``_deliver``). Control/recovery traffic never waits — it bypasses
+        ring bounds entirely.
+        """
+        if _is_control_item(packet):
+            return
+        splitter = self.splitters[vertex_name]
+        while True:
+            if packet.replay_target is not None and packet.replay_target in splitter.instances:
+                targets = [packet.replay_target]
+            else:
+                primary = splitter.current_instance_for(splitter.key_of(packet))
+                targets = [primary]
+                clone = splitter.replicate.get(primary)
+                if clone is not None:
+                    targets.append(clone)
+            waits = [
+                self.nics[t].space_event()
+                for t in targets
+                if t in self.nics and not self.nics[t].has_space()
+            ]
+            if not waits:
+                return
+            yield self.sim.all_of(waits)
+
     def _replicate(self, packet: Packet) -> Packet:
         copy = packet.copy()
         copy.bitvector = 0  # each tracked copy reports its own tags once
@@ -511,7 +659,15 @@ class ChainRuntime:
             self.root_for(clock).add_outstanding(clock, len(deliveries) - 1, generation)
         for child in exits:
             self._to_egress(vertex_name, child)
+        backpressure = self._backpressure_hops
         for dst_vertex, copy in deliveries:
+            if backpressure:
+                # Hop-by-hop backpressure (§8): the emitting worker parks
+                # until the downstream ring has space, instead of letting
+                # the NIC tail-drop the copy.
+                yield from self._await_hop_space(dst_vertex, copy)
+                if not instance._alive:
+                    return
             self._deliver(dst_vertex, copy)
 
     def _send_delete(
@@ -614,6 +770,16 @@ class ChainRuntime:
             instance_id: nic.txq_depth_peak
             for instance_id, nic in self.nics.items()
             if nic.txq_depth_peak
+        }
+        report["sheds"] = {
+            instance_id: instance.stats.shed
+            for instance_id, instance in self.instances.items()
+            if instance.stats.shed
+        }
+        report["nic_deliver_stalls"] = {
+            instance_id: nic.deliver_stalls
+            for instance_id, nic in self.nics.items()
+            if nic.deliver_stalls
         }
         return report
 

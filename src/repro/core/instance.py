@@ -36,6 +36,19 @@ from repro.store.client import StoreClient
 from repro.traffic.packet import Packet, scope_fields
 from repro.util import stable_hash
 
+# Overload policies for bounded instance queues (§8). BLOCK parks the
+# producer (hop-by-hop backpressure through the NIC ring), DROP tail-drops
+# with ledger accounting, SHED evicts the lowest-priority queued packet
+# first so high-priority flows survive a burst.
+POLICY_BLOCK = "block"
+POLICY_DROP = "drop"
+POLICY_SHED = "shed"
+OVERLOAD_POLICIES = (POLICY_BLOCK, POLICY_DROP, POLICY_SHED)
+
+# Drop-ledger causes (folded into Network.drops via ChainRuntime.note_shed)
+SHED_CAUSE_QUEUE = "overload_queue"
+SHED_CAUSE_NIC = "nic_ring"
+
 
 class CHCStateAPI(StateAPI):
     """StateAPI bound to one packet's context.
@@ -77,6 +90,7 @@ class InstanceStats:
     dropped: int = 0
     control_markers: int = 0
     buffered: int = 0
+    shed: int = 0
 
 
 class NFInstance:
@@ -94,7 +108,12 @@ class NFInstance:
         proc_time_us: float = 2.0,
         extra_delay: Optional[Callable[[], float]] = None,
         start_buffering: bool = False,
+        queue_capacity: Optional[int] = None,
+        worker_capacity: Optional[int] = None,
+        overload_policy: str = POLICY_BLOCK,
     ):
+        if overload_policy not in OVERLOAD_POLICIES:
+            raise ValueError(f"unknown overload policy {overload_policy!r}")
         self.sim = sim
         self.runtime = runtime
         self.vertex_name = vertex_name
@@ -104,8 +123,23 @@ class NFInstance:
         self.n_workers = n_workers
         self.proc_time_us = proc_time_us
         self.extra_delay = extra_delay
+        self.queue_capacity = queue_capacity
+        self.overload_policy = overload_policy
+        # BLOCK bounds the input channel itself (the NIC parks on its space
+        # event) and each worker queue (the receive loop parks, filling the
+        # input). DROP/SHED leave channels unbounded and enforce the bound
+        # on total depth at enqueue, where the shed decision is made.
+        input_capacity = queue_capacity if overload_policy == POLICY_BLOCK else None
+        if overload_policy == POLICY_BLOCK and queue_capacity is not None:
+            if worker_capacity is None:
+                worker_capacity = max(1, queue_capacity // n_workers)
+        else:
+            worker_capacity = None
+        self.worker_capacity = worker_capacity
 
-        self.input = Channel(sim, name=f"{instance_id}-input")
+        self.input = Channel(
+            sim, name=f"{instance_id}-input", capacity=input_capacity
+        )
         # recorder: pure per-packet processing time (Figure 8's metric);
         # sojourn: arrival-at-NF to completion, queueing included (what
         # Figures 12/13 plot — stalls and recovery show up as queue wait).
@@ -123,7 +157,8 @@ class NFInstance:
         self._barrier_counts: Dict[int, int] = {}
 
         self._worker_queues = [
-            Channel(sim, name=f"{instance_id}-w{i}") for i in range(n_workers)
+            Channel(sim, name=f"{instance_id}-w{i}", capacity=worker_capacity)
+            for i in range(n_workers)
         ]
         self._processes: List[Process] = [
             sim.process(self._worker_loop(q), name=f"{instance_id}-w{i}")
@@ -180,9 +215,68 @@ class NFInstance:
     # receive path
     # ------------------------------------------------------------------
 
-    def enqueue(self, packet: Packet) -> None:
+    def enqueue(self, packet: Packet) -> bool:
+        """Admit ``packet`` to the input queue.
+
+        Returns ``True`` when the packet was taken (admitted, or shed with
+        accounting — either way the sender is done with it) and ``False``
+        only under the BLOCK policy when the bounded input is full: the
+        delivering NIC then parks on ``input.space_event()`` and retries,
+        which is what propagates backpressure upstream.
+        """
         packet.queued_at = self.sim.now
-        self.input.put(packet)
+        if self.queue_capacity is None:
+            self.input.put(packet)
+            return True
+        if (
+            packet.control is not None
+            or packet.mark_first
+            or packet.replayed
+            or packet.replay_end
+        ):
+            # Control-plane and recovery traffic is never refused or shed:
+            # losing a barrier/replay marker wedges handover or replay.
+            self.input.put_forced(packet)
+            return True
+        policy = self.overload_policy
+        if policy == POLICY_BLOCK:
+            return self.input.put(packet)
+        if self.queue_depth < self.queue_capacity:
+            self.input.put(packet)
+            return True
+        victim = packet
+        if policy == POLICY_SHED:
+            evicted = self._evict_lower_priority(packet)
+            if evicted is not None:
+                victim = evicted
+                self.input.put(packet)
+        self.stats.shed += 1
+        self.runtime.note_shed(self, victim, SHED_CAUSE_QUEUE)
+        return True
+
+    def _evict_lower_priority(self, incoming: Packet) -> Optional[Packet]:
+        """Find and remove the lowest-priority queued data packet that is
+        strictly lower priority than ``incoming``; None if there is none."""
+        best_queue = None
+        best_index = -1
+        best_priority = incoming.priority
+        for queue in (self.input, *self._worker_queues):
+            for index, queued in enumerate(queue._items):
+                if (
+                    queued.control is not None
+                    or queued.mark_first
+                    or queued.replayed
+                    or queued.replay_end
+                ):
+                    continue
+                if queued.priority < best_priority:
+                    best_priority = queued.priority
+                    best_queue, best_index = queue, index
+        if best_queue is None:
+            return None
+        victim = best_queue._items[best_index]
+        del best_queue._items[best_index]
+        return victim
 
     def _receive_loop(self) -> Generator:
         while self._alive:
@@ -190,19 +284,29 @@ class NFInstance:
             if packet.control is not None and packet.mark_last:
                 # Handover barrier: every worker must pass it (§5.1 step 5
                 # happens only after all queued packets of the flow drain).
+                # Forced put: the barrier must reach every worker even when
+                # its queue is at capacity.
                 self.stats.control_markers += 1
                 for queue in self._worker_queues:
-                    queue.put(packet)
+                    queue.put_forced(packet)
                 continue
             if self._buffering and not packet.replayed:
                 self._live_buffer.append(packet)
                 self.stats.buffered += 1
                 continue
-            self._dispatch(packet)
+            shard = stable_hash(packet.five_tuple.canonical().key()) % self.n_workers
+            queue = self._worker_queues[shard]
+            while not queue.put(packet):
+                # BLOCK policy: park until the worker drains one; packets
+                # meanwhile accumulate in the bounded input, whose fullness
+                # pushes back on the delivering NIC.
+                yield queue.space_event()
+                if not self._alive:
+                    return
 
     def _dispatch(self, packet: Packet) -> None:
         shard = stable_hash(packet.five_tuple.canonical().key()) % self.n_workers
-        self._worker_queues[shard].put(packet)
+        self._worker_queues[shard].put_forced(packet)
 
     def _worker_loop(self, queue: Channel) -> Generator:
         while self._alive:
@@ -213,6 +317,16 @@ class NFInstance:
             marker: Optional[MoveMarker] = None
             if packet.mark_first and isinstance(packet.control, MoveMarker):
                 marker = packet.control
+                # Consume the marker HERE: an NF that forwards the same
+                # packet object would otherwise leak it downstream, where
+                # the next vertex's worker blocks forever on a handover
+                # that isn't for its vertex.
+                packet.mark_first = False
+                packet.control = None
+                if marker.new_instance != self.instance_id:
+                    # not our move (e.g. a straggler-clone copy): ordinary
+                    # traffic as far as this instance is concerned
+                    marker = self._matching_pending_move(packet)
             else:
                 marker = self._matching_pending_move(packet)
             if marker is not None:

@@ -117,6 +117,15 @@ class Supervisor:
             return
         if id(component) in self._handled:
             return  # already enqueued (dependency discovery beat the detector)
+        if kind == "nf" and self.runtime.instances.get(
+            getattr(component, "instance_id", None)
+        ) is not component:
+            # Orderly retirement (autoscaler scale-in, §8), not a crash:
+            # the instance was already removed from the runtime's routing
+            # with its state handed back. Nothing to recover.
+            self._handled.add(id(component))
+            self.timeline.record(self.sim.now, "retired", name, component_kind=kind)
+            return
         self._handled.add(id(component))
         # A plain FailureInjector notifies at the crash instant; a
         # ChaosDirector records "failed" itself and notifies later. Record

@@ -129,13 +129,33 @@ def default_straggler_logic(threshold: float = 0.5) -> Callable[[List[InstanceRe
     return logic
 
 
-def default_scaling_logic(queue_threshold: int = 1_000) -> Callable[[List[InstanceReport]], Any]:
-    """Scale up when aggregate backlog exceeds a threshold (θ of §3)."""
+def default_scaling_logic(
+    queue_threshold: int = 1_000,
+    low_threshold: Optional[int] = None,
+    settle_intervals: int = 3,
+) -> Callable[[List[InstanceReport]], Any]:
+    """Scale up when aggregate backlog exceeds a threshold (θ of §3).
+
+    With ``low_threshold`` set, also proposes scale-down after
+    ``settle_intervals`` consecutive low-backlog observations with more
+    than one instance running — hysteresis so a transient lull between
+    bursts doesn't thrash the autoscaler. Defaults leave the seed
+    behaviour (scale-up only) untouched.
+    """
+    calm = {"count": 0}
 
     def logic(reports: List[InstanceReport]):
         backlog = sum(r.queue_depth for r in reports)
         if backlog > queue_threshold:
+            calm["count"] = 0
             return {"action": "scale_up", "backlog": backlog}
+        if low_threshold is not None and len(reports) > 1 and backlog <= low_threshold:
+            calm["count"] += 1
+            if calm["count"] >= settle_intervals:
+                calm["count"] = 0
+                return {"action": "scale_down", "backlog": backlog}
+        else:
+            calm["count"] = 0
         return None
 
     return logic

@@ -308,22 +308,54 @@ class Channel:
     Items and parked getters live in ``deque``s, so every queue operation on
     the packet path is O(1). ``depth_peak`` records the high-water mark of
     the queue (a free byproduct of ``put`` useful for perf forensics).
+
+    A channel may be given a ``capacity``: :meth:`put` then refuses items
+    (returns ``False``) once the backlog reaches the bound, and producers
+    can park on :meth:`space_event` until a consumer drains an item.
+    Control-plane traffic that must never be refused uses
+    :meth:`put_forced`. The capacity machinery stays entirely off the hot
+    path when unused (``capacity is None`` and no space waiters).
     """
 
-    __slots__ = ("sim", "name", "_items", "_getters", "depth_peak")
+    __slots__ = ("sim", "name", "capacity", "_items", "_getters",
+                 "_space_waiters", "depth_peak")
 
-    def __init__(self, sim: "Simulator", name: str = ""):
+    def __init__(self, sim: "Simulator", name: str = "",
+                 capacity: Optional[int] = None):
         self.sim = sim
         self.name = name
+        self.capacity = capacity
         self._items: deque = deque()
         self._getters: deque = deque()
+        self._space_waiters: deque = deque()
         self.depth_peak = 0
 
     def __len__(self) -> int:
         return len(self._items)
 
-    def put(self, item: Any) -> None:
-        """Enqueue ``item``; wakes one waiting getter if any."""
+    def put(self, item: Any) -> bool:
+        """Enqueue ``item``; wakes one waiting getter if any.
+
+        Returns ``False`` (item NOT enqueued) when the channel is bounded
+        and full; otherwise ``True``. An item handed straight to a parked
+        getter never counts against the bound.
+        """
+        items = self._items
+        if (
+            self.capacity is not None
+            and not self._getters
+            and len(items) >= self.capacity
+        ):
+            return False
+        items.append(item)
+        if self._getters:
+            self._dispatch()
+        elif len(items) > self.depth_peak:
+            self.depth_peak = len(items)
+        return True
+
+    def put_forced(self, item: Any) -> None:
+        """Enqueue ``item`` ignoring any capacity bound (control traffic)."""
         items = self._items
         items.append(item)
         if self._getters:
@@ -343,6 +375,8 @@ class Channel:
         getters, items = self._getters, self._items
         while getters and items:
             getters.popleft().succeed(items.popleft())
+        if self._space_waiters:
+            self._notify_space()
 
     def get(self) -> Event:
         """Return an event that fires with the next item."""
@@ -350,6 +384,8 @@ class Channel:
         items = self._items
         if items:
             event.succeed(items.popleft())
+            if self._space_waiters:
+                self._notify_space()
         else:
             self._getters.append(event)
         return event
@@ -357,8 +393,44 @@ class Channel:
     def try_get(self) -> Any:
         """Dequeue immediately, or return ``None`` if empty."""
         if self._items:
-            return self._items.popleft()
+            item = self._items.popleft()
+            if self._space_waiters:
+                self._notify_space()
+            return item
         return None
+
+    def has_space(self) -> bool:
+        """Whether an ordinary :meth:`put` would currently be accepted."""
+        if self.capacity is None or self._getters:
+            return True
+        return len(self._items) < self.capacity
+
+    def space_event(self) -> Event:
+        """An event that fires once the channel can accept a :meth:`put`.
+
+        Fires immediately when there is already room. Waiters are woken in
+        FIFO order, one per slot freed, so competing producers make
+        progress fairly.
+        """
+        event = Event(self.sim, name=self.name)
+        if self.has_space():
+            event.succeed(None)
+        else:
+            self._space_waiters.append(event)
+        return event
+
+    def _notify_space(self) -> None:
+        # One waiter per free slot: a woken producer usually puts
+        # immediately, so over-waking would just thrash.
+        waiters = self._space_waiters
+        while waiters and self.has_space():
+            waiter = waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed(None)
+                # The woken producer has not put yet; reserve its slot by
+                # waking at most one waiter per notify round when bounded.
+                if self.capacity is not None:
+                    break
 
     def items(self) -> List[Any]:
         """A snapshot of queued items (read-only view for the framework)."""
@@ -368,11 +440,16 @@ class Channel:
         """Delete queued items matching ``predicate``; returns count removed."""
         before = len(self._items)
         self._items = deque(item for item in self._items if not predicate(item))
-        return before - len(self._items)
+        removed = before - len(self._items)
+        if removed and self._space_waiters:
+            self._notify_space()
+        return removed
 
     def clear(self) -> int:
         removed = len(self._items)
         self._items.clear()
+        if removed and self._space_waiters:
+            self._notify_space()
         return removed
 
 

@@ -139,6 +139,11 @@ class Network:
         """Total messages dropped, all causes (backward-compatible view)."""
         return sum(self.drops.values())
 
+    def account_drop(self, cause: str, count: int = 1) -> None:
+        """Fold an out-of-fabric drop (NIC ring, overload shed) into the
+        per-cause ledger so invariant checkers see one unified account."""
+        self.drops[cause] = self.drops.get(cause, 0) + count
+
     def register(self, name: str) -> Channel:
         """Register ``name`` and return its inbox channel.
 

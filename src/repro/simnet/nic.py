@@ -4,13 +4,22 @@ Throughput experiments (Figure 10) need a line-rate ceiling: a traditional
 NF is CPU/NIC bound near 9.5Gbps, while an NF blocked on per-packet store
 RTTs drains far below line rate. The :class:`Nic` serialises transmissions
 at a configured rate and exposes counters for goodput measurement.
+
+Overload semantics (§8 of DESIGN): a finite ring (``queue_limit``) tail
+drops, and every drop is reported through ``on_drop`` so the runtime can
+fold it into the Network per-cause ledger — ring drops are never silent.
+``never_drop`` exempts control-plane items (handover markers) from tail
+drop, and ``deliver_wait`` lets the receiving NF push back: when
+``deliver`` returns ``False`` the drain loop parks until the receiver has
+space, which in turn fills this ring and slows *its* upstream — hop-by-hop
+backpressure.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
-from repro.simnet.engine import Channel, Simulator
+from repro.simnet.engine import Channel, Event, Simulator
 
 GBPS_TO_BITS_PER_US = 1_000.0  # 1 Gbps == 1000 bits per microsecond
 
@@ -20,17 +29,21 @@ class Nic:
 
     ``deliver`` is invoked with each item once its serialisation delay has
     elapsed. ``queue_limit`` (packets) models a finite ring: when exceeded,
-    new packets are dropped and counted (tail drop).
+    new packets are dropped, counted (tail drop), and reported via
+    ``on_drop``.
     """
 
     def __init__(
         self,
         sim: Simulator,
         rate_gbps: float,
-        deliver: Callable[[Any], None],
+        deliver: Callable[[Any], Any],
         name: str = "nic",
         queue_limit: Optional[int] = None,
         per_packet_overhead_bits: int = 0,
+        on_drop: Optional[Callable[[Any], None]] = None,
+        never_drop: Optional[Callable[[Any], bool]] = None,
+        deliver_wait: Optional[Callable[[], Event]] = None,
     ):
         self.sim = sim
         self.name = name
@@ -38,10 +51,14 @@ class Nic:
         self.deliver = deliver
         self.queue_limit = queue_limit
         self.per_packet_overhead_bits = per_packet_overhead_bits
-        self._queue = Channel(sim, name=f"{name}-txq")
+        self.on_drop = on_drop
+        self.never_drop = never_drop
+        self.deliver_wait = deliver_wait
+        self._queue = Channel(sim, name=f"{name}-txq", capacity=queue_limit)
         self.tx_packets = 0
         self.tx_bits = 0
         self.drops = 0
+        self.deliver_stalls = 0
         self._alive = True
         sim.process(self._drain(), name=f"{name}-drain")
 
@@ -54,14 +71,28 @@ class Nic:
         self._alive = False
         self._queue.clear()
 
+    def has_space(self) -> bool:
+        """Whether :meth:`send` would currently be accepted (not tail drop)."""
+        return self._alive and self._queue.has_space()
+
+    def space_event(self) -> Event:
+        """Event firing when the ring can accept a packet (backpressure)."""
+        return self._queue.space_event()
+
     def send(self, item: Any, size_bits: int) -> bool:
         """Enqueue ``item`` for transmission; returns False on tail drop."""
         if not self._alive:
             return False
-        if self.queue_limit is not None and len(self._queue) >= self.queue_limit:
+        if self.never_drop is not None and self.never_drop(item):
+            # Control-plane traffic (handover markers) bypasses the bound:
+            # losing a marker would wedge the Figure-4 barrier.
+            self._queue.put_forced((item, size_bits))
+            return True
+        if not self._queue.put((item, size_bits)):
             self.drops += 1
+            if self.on_drop is not None:
+                self.on_drop(item)
             return False
-        self._queue.put((item, size_bits))
         return True
 
     def _drain(self):
@@ -73,6 +104,16 @@ class Nic:
             yield self.sim.timeout(wire_bits / self.rate_bits_per_us)
             if not self._alive:
                 return
+            while True:
+                accepted = self.deliver(item)
+                # Legacy receivers return None (always accept); a bounded
+                # receiver returns False to push back.
+                if accepted is False and self.deliver_wait is not None:
+                    self.deliver_stalls += 1
+                    yield self.deliver_wait()
+                    if not self._alive:
+                        return
+                    continue
+                break
             self.tx_packets += 1
             self.tx_bits += size_bits
-            self.deliver(item)

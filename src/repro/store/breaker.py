@@ -1,0 +1,149 @@
+"""Client-side circuit breaker for store access (§8 overload model).
+
+Layered by :class:`~repro.store.client.StoreClient` over its existing
+retransmission machinery. Failure signals are ``Overloaded`` admission
+rejections, RPC give-ups, and *slow calls* (a call exceeding
+``slow_call_us`` counts as a failure — a saturated store that still
+answers is the classic grey failure). After ``failure_threshold``
+consecutive failures the breaker opens: requests are refused locally for
+``open_us`` (with seeded jitter so a fleet of clients doesn't re-probe in
+lock-step), then a half-open period admits ``half_open_probes`` probe
+calls; one success closes the breaker, one failure re-opens it.
+
+While the breaker is open the client degrades reads to cached /
+stale-tolerant paths per Table 1 instead of amplifying load on the
+saturated store.
+
+Determinism: jitter comes from a ``random.Random`` seeded from the
+breaker's name, never from wall-clock state.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.simnet.engine import Simulator
+from repro.util import stable_hash
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+@dataclass
+class BreakerStats:
+    failures: int = 0
+    successes: int = 0
+    slow_calls: int = 0
+    opens: int = 0
+    probes: int = 0
+    refusals: int = 0  # acquire() had to wait at least once
+
+
+class CircuitBreaker:
+    """Closed / open / half-open breaker with seeded-jitter probes."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "breaker",
+        failure_threshold: int = 5,
+        open_us: float = 2_000.0,
+        slow_call_us: Optional[float] = None,
+        half_open_probes: int = 1,
+        jitter_frac: float = 0.1,
+        seed: int = 0,
+    ):
+        self.sim = sim
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.open_us = open_us
+        self.slow_call_us = slow_call_us
+        self.half_open_probes = half_open_probes
+        self.jitter_frac = jitter_frac
+        self._rng = random.Random(stable_hash(name) ^ (seed * 0x9E3779B1))
+        self.state = CLOSED
+        self.stats = BreakerStats()
+        self._consecutive_failures = 0
+        self._open_until = 0.0
+        self._probes_inflight = 0
+
+    # ------------------------------------------------------------------
+    # state machine
+    # ------------------------------------------------------------------
+
+    def _jittered(self, base_us: float) -> float:
+        return base_us * (1.0 + self.jitter_frac * self._rng.random())
+
+    def _maybe_half_open(self) -> None:
+        if self.state == OPEN and self.sim.now >= self._open_until:
+            self.state = HALF_OPEN
+            self._probes_inflight = 0
+
+    def _trip(self) -> None:
+        self.state = OPEN
+        self.stats.opens += 1
+        self._open_until = self.sim.now + self._jittered(self.open_us)
+        self._consecutive_failures = 0
+        self._probes_inflight = 0
+
+    def record_failure(self) -> None:
+        self.stats.failures += 1
+        if self.state == HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            self._trip()
+            return
+        if self.state == CLOSED:
+            self._consecutive_failures += 1
+            if self._consecutive_failures >= self.failure_threshold:
+                self._trip()
+
+    def record_success(self) -> None:
+        self.stats.successes += 1
+        if self.state == HALF_OPEN:
+            self._probes_inflight = max(0, self._probes_inflight - 1)
+            self.state = CLOSED
+        self._consecutive_failures = 0
+
+    def record_result(self, elapsed_us: float) -> None:
+        """Classify a completed call: slow counts as failure (grey store)."""
+        if self.slow_call_us is not None and elapsed_us >= self.slow_call_us:
+            self.stats.slow_calls += 1
+            self.record_failure()
+        else:
+            self.record_success()
+
+    # ------------------------------------------------------------------
+    # admission
+    # ------------------------------------------------------------------
+
+    def allows_request(self) -> bool:
+        """Non-waiting check; claims no probe slot."""
+        self._maybe_half_open()
+        if self.state == CLOSED:
+            return True
+        return self.state == HALF_OPEN and self._probes_inflight < self.half_open_probes
+
+    def acquire(self):
+        """Generator: wait until a call may be issued (claims a probe slot
+        when half-open). Drive with ``yield from``."""
+        waited = False
+        while True:
+            self._maybe_half_open()
+            if self.state == CLOSED:
+                return
+            if self.state == HALF_OPEN and self._probes_inflight < self.half_open_probes:
+                self._probes_inflight += 1
+                self.stats.probes += 1
+                return
+            if not waited:
+                waited = True
+                self.stats.refusals += 1
+            if self.state == OPEN:
+                wait_us = max(self._open_until - self.sim.now, 1.0)
+            else:
+                # half-open with all probe slots taken: poll for an outcome
+                wait_us = self._jittered(self.open_us / 10.0)
+            yield self.sim.timeout(self._jittered(wait_us))

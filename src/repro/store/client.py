@@ -26,12 +26,14 @@ the packet's bit vector (Figure 6, step 1).
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.simnet.engine import Channel, Event, Simulator
 from repro.simnet.network import Network
-from repro.simnet.rpc import RpcEndpoint
+from repro.simnet.rpc import RpcEndpoint, RpcGaveUp
+from repro.store.breaker import CircuitBreaker
 from repro.store.cluster import StoreCluster
 from repro.store.keys import StateKey
 from repro.store.operations import OperationRegistry, default_registry
@@ -41,6 +43,7 @@ from repro.store.protocol import (
     NonDetRequest,
     OpRequest,
     OpResult,
+    Overloaded,
     OwnerRequest,
     ReadRequest,
     ReadResult,
@@ -50,6 +53,7 @@ from repro.store.protocol import (
 from repro.store.spec import CacheStrategy, Scope, StateObjectSpec
 from repro.store.wal import WriteAheadLog
 from repro.traffic.packet import Packet
+from repro.util import stable_hash
 
 
 @dataclass
@@ -82,6 +86,8 @@ class ClientStats:
     callbacks_received: int = 0
     retransmissions: int = 0
     flushes_gave_up: int = 0
+    overload_rejections: int = 0
+    stale_reads: int = 0
 
 
 class StoreClient:
@@ -100,6 +106,7 @@ class StoreClient:
         caching_enabled: bool = True,
         retransmit_timeout_us: Optional[float] = None,
         registry: Optional[OperationRegistry] = None,
+        breaker: Optional[CircuitBreaker] = None,
     ):
         self.sim = sim
         self.cluster = cluster
@@ -111,6 +118,12 @@ class StoreClient:
         self.caching_enabled = caching_enabled
         self.retransmit_timeout_us = retransmit_timeout_us
         self.registry = registry or default_registry()
+        self.breaker = breaker
+        # Overload handling (§8): seeded jitter for Overloaded-reply
+        # backoff, plus the last successfully read value per key — what an
+        # open breaker serves instead of hammering a saturated store.
+        self._overload_rng = random.Random(stable_hash(instance_id) ^ 0x0BAD)
+        self._stale: Dict[str, Any] = {}
         self.endpoint = RpcEndpoint(sim, network, instance_id)
         self.wal = WriteAheadLog(instance_id)
         self.stats = ClientStats()
@@ -152,6 +165,7 @@ class StoreClient:
         self.endpoint.fail()
         self._cache.clear()
         self._readheavy_cache.clear()
+        self._stale.clear()
 
     def make_context(self, packet: Optional[Packet]) -> PacketContext:
         """A fresh per-packet context (clock, op sequence numbers)."""
@@ -182,6 +196,9 @@ class StoreClient:
     # the retransmission storm a permanently-dead destination can cause.
     BLOCKING_RETRY_BUDGET = 12
     FLUSH_RETRY_BUDGET = 100
+    # How many consecutive Overloaded rejections a blocking call absorbs
+    # (with exponential backoff) before it is treated like an RPC give-up.
+    OVERLOAD_RETRY_BUDGET = 64
 
     def _blocking_call(self, storage_key: str, payload: Any) -> Generator:
         """Issue a blocking RPC to the store instance holding ``storage_key``.
@@ -193,18 +210,59 @@ class StoreClient:
         instance as soon as the routing swap happens. Safe because the store
         dedups packet-induced ops on their (key, clock, seq) identity and
         reads are idempotent. Without a timeout this is a bare call_event
-        (the seed's behaviour: lossless links, no retransmission)."""
-        if self.retransmit_timeout_us is None:
-            result = yield self.endpoint.call_event(self._dst(storage_key), payload)
-            return result
-        result = yield from self.endpoint.call(
-            lambda: self._dst(storage_key),
-            payload,
-            timeout_us=self.retransmit_timeout_us,
-            max_retries=self.BLOCKING_RETRY_BUDGET,
-            backoff=1.5,
+        (the seed's behaviour: lossless links, no retransmission).
+
+        Overload layer (§8): data-plane calls (ops/reads) pass through the
+        circuit breaker when one is configured — an open breaker parks the
+        call until a probe window — and an ``Overloaded`` admission
+        rejection is retried after seeded-jitter backoff. Control-plane
+        calls (ownership moves, watches) bypass the breaker so an overload
+        episode cannot wedge handover or recovery.
+        """
+        breaker = (
+            self.breaker
+            if isinstance(payload, (OpRequest, ReadRequest))
+            else None
         )
-        return result
+        overload_attempts = 0
+        while True:
+            if breaker is not None:
+                yield from breaker.acquire()
+            started = self.sim.now
+            try:
+                if self.retransmit_timeout_us is None:
+                    result = yield self.endpoint.call_event(
+                        self._dst(storage_key), payload
+                    )
+                else:
+                    result = yield from self.endpoint.call(
+                        lambda: self._dst(storage_key),
+                        payload,
+                        timeout_us=self.retransmit_timeout_us,
+                        max_retries=self.BLOCKING_RETRY_BUDGET,
+                        backoff=1.5,
+                    )
+            except RpcGaveUp:
+                if breaker is not None:
+                    breaker.record_failure()
+                raise
+            if isinstance(result, Overloaded):
+                self.stats.overload_rejections += 1
+                if breaker is not None:
+                    breaker.record_failure()
+                overload_attempts += 1
+                if overload_attempts >= self.OVERLOAD_RETRY_BUDGET:
+                    raise RpcGaveUp(
+                        f"{self.instance_id}: store stayed overloaded for"
+                        f" {storage_key}"
+                    )
+                delay = result.retry_after_us * (1.5 ** min(overload_attempts, 8))
+                delay *= 1.0 + 0.25 * self._overload_rng.random()
+                yield self.sim.timeout(delay)
+                continue
+            if breaker is not None:
+                breaker.record_result(self.sim.now - started)
+            return result
 
     # ------------------------------------------------------------------
     # update path
@@ -345,11 +403,47 @@ class StoreClient:
         self._ack_seq += 1
         ack_id = self._ack_seq
         self._pending_acks[ack_id] = (ack, request)
-        ack.add_callback(lambda _event: self._pending_acks.pop(ack_id, None))
+        ack.add_callback(
+            lambda event: self._on_flush_reply(ack_id, request, attempt, event)
+        )
         if self.retransmit_timeout_us is not None:
             self.sim.schedule(
                 self.retransmit_timeout_us, self._maybe_retransmit, ack_id, request, attempt
             )
+
+    def _on_flush_reply(self, ack_id: int, request: OpRequest, attempt: int,
+                        event: Event) -> None:
+        """A tracked flush got its reply.
+
+        Normally that reply is the ACK; an ``Overloaded`` reply consumed
+        the ACK slot but the operation was NOT applied, so the flush is
+        reissued after backoff (bounded by the flush budget) — silently
+        accepting it would lose state.
+        """
+        if self._pending_acks.pop(ack_id, None) is None:
+            return
+        if not (event.ok and isinstance(event.value, Overloaded)):
+            return  # a true ACK — done
+        self.stats.overload_rejections += 1
+        if not self._alive:
+            return
+        if not (request.log_update and request.clock) or (
+            attempt + 1 >= self.FLUSH_RETRY_BUDGET
+        ):
+            # Only packet-induced ops are retried (their (key, clock, seq)
+            # identity makes the reissue idempotent at the store).
+            self.stats.flushes_gave_up += 1
+            return
+        delay = event.value.retry_after_us * (1.5 ** min(attempt, 8))
+        delay *= 1.0 + 0.25 * self._overload_rng.random()
+        self.sim.schedule(delay, self._reissue_overloaded, request, attempt + 1)
+
+    def _reissue_overloaded(self, request: OpRequest, attempt: int) -> None:
+        if not self._alive:
+            return
+        ack = self.endpoint.call_event(self._dst(request.key), request)
+        self.stats.retransmissions += 1
+        self._track_ack(request, ack, attempt)
 
     def _maybe_retransmit(self, ack_id: int, request: OpRequest, attempt: int) -> None:
         """Reissue an un-ACK'd flush (bounded: FLUSH_RETRY_BUDGET attempts).
@@ -401,14 +495,14 @@ class StoreClient:
         _state_key, storage_key = self._key(obj_name, flow_key)
         strategy = spec.strategy()
         if not self.caching_enabled:
-            result = yield from self._store_read(storage_key, spec, ctx)
+            result = yield from self._read_through(storage_key, spec, ctx)
             return result.value if result.value is not None else spec.initial_value
 
         if strategy is CacheStrategy.PER_FLOW_CACHE:
             if storage_key in self._cache:
                 self.stats.cached_reads += 1
                 return self._cache[storage_key]
-            result = yield from self._store_read(storage_key, spec, ctx)
+            result = yield from self._read_through(storage_key, spec, ctx)
             value = result.value if result.value is not None else spec.initial_value
             self._cache[storage_key] = value
             return value
@@ -422,7 +516,7 @@ class StoreClient:
                 WatchRequest(key=storage_key, endpoint=self.instance_id, kind="value"),
             )
             self._watched.add(storage_key)
-            result = yield from self._store_read(storage_key, spec, ctx)
+            result = yield from self._read_through(storage_key, spec, ctx)
             value = result.value if result.value is not None else spec.initial_value
             self._readheavy_cache[storage_key] = value
             return value
@@ -431,14 +525,38 @@ class StoreClient:
             if storage_key in self._cache:
                 self.stats.cached_reads += 1
                 return self._cache[storage_key]
-            result = yield from self._store_read(storage_key, spec, ctx)
+            result = yield from self._read_through(storage_key, spec, ctx)
             value = result.value if result.value is not None else spec.initial_value
             self._cache[storage_key] = value
             return value
 
         # NON_BLOCKING objects and non-exclusive SPLIT_AWARE: read through.
-        result = yield from self._store_read(storage_key, spec, ctx)
+        result = yield from self._read_through(storage_key, spec, ctx)
         return result.value if result.value is not None else spec.initial_value
+
+    def _read_through(
+        self,
+        storage_key: str,
+        spec: StateObjectSpec,
+        ctx: Optional[PacketContext] = None,
+    ) -> Generator:
+        """A store read, degraded to the last-seen value when the breaker
+        is open (§8, Table 1's stale-tolerant path).
+
+        Serving the stale snapshot keeps the packet path moving without
+        amplifying load on a saturated store. No WAL read-log entry is
+        written for a stale serve: recovery must only see values the store
+        actually returned.
+        """
+        if (
+            self.breaker is not None
+            and not self.breaker.allows_request()
+            and storage_key in self._stale
+        ):
+            self.stats.stale_reads += 1
+            return ReadResult(value=self._stale[storage_key])
+        result = yield from self._store_read(storage_key, spec, ctx)
+        return result
 
     def _store_read(
         self,
@@ -451,6 +569,8 @@ class StoreClient:
             storage_key, ReadRequest(key=storage_key, instance=self.instance_id)
         )
         self.stats.store_reads += 1
+        if self.breaker is not None:
+            self._stale[storage_key] = result.value
         if spec.scope is Scope.CROSS_FLOW:
             self.wal.log_read(ctx.clock, storage_key, result.value, result.ts, at=self.sim.now)
         return result

@@ -9,6 +9,7 @@ same routing.
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, List, Optional
 
 from repro.store.datastore import DatastoreInstance
@@ -46,8 +47,10 @@ class StoreCluster:
         if assigned is not None:
             return assigned
         # Stable hash fallback: deterministic across runs (no PYTHONHASHSEED
-        # dependence) by hashing the vertex name's bytes.
-        digest = sum(vertex.encode()) % len(self._order)
+        # dependence). crc32 rather than a byte sum: a sum collides on any
+        # character permutation of a vertex name ("nat1"/"na1t"), piling
+        # anagram vertices onto one store node.
+        digest = zlib.crc32(vertex.encode()) % len(self._order)
         return self._order[digest]
 
     def instance_for_key(self, storage_key: str) -> DatastoreInstance:

@@ -42,6 +42,7 @@ from repro.store.protocol import (
     NonDetRequest,
     OpRequest,
     OpResult,
+    Overloaded,
     OwnerRequest,
     PruneRequest,
     ReadRequest,
@@ -94,6 +95,7 @@ class StoreStats:
     rejected: int = 0
     callbacks_sent: int = 0
     commit_signals: int = 0
+    overload_rejections: int = 0
 
 
 class DatastoreInstance:
@@ -113,6 +115,8 @@ class DatastoreInstance:
         mirror: Optional[str] = None,
         sync_replication: bool = False,
         seed: int = 0,
+        inflight_limit: Optional[int] = None,
+        overload_retry_after_us: float = 50.0,
     ):
         self.sim = sim
         self.name = name
@@ -134,6 +138,11 @@ class DatastoreInstance:
         # mirror acknowledges (the latency cost the paper mentions).
         self.mirror = mirror
         self.sync_replication = sync_replication
+        # Admission control (§8): reject data-plane work once the aggregate
+        # thread backlog reaches the budget. Rejections are retryable
+        # (``Overloaded``); control-plane requests are always admitted.
+        self.inflight_limit = inflight_limit
+        self.overload_retry_after_us = overload_retry_after_us
 
         self.endpoint = RpcEndpoint(sim, network, name)
         self._data: Dict[str, Any] = {}
@@ -206,6 +215,26 @@ class DatastoreInstance:
         # Stable hash: each key maps to exactly one thread, reproducibly.
         return self._queues[stable_hash(key) % self.n_threads]
 
+    def _inflight(self) -> int:
+        return sum(len(queue) for queue in self._queues)
+
+    def _admission_reject(self, request: RpcRequest) -> bool:
+        """Apply the in-flight budget to one data-plane request.
+
+        Returns True when the request was rejected (an ``Overloaded`` reply
+        has been sent). Data plane = OpRequest/ReadRequest/LockReadRequest:
+        the per-packet load. Ownership moves, writes (flush-on-release),
+        watches, takeovers and other control-plane traffic is never
+        rejected — overload must not break handover or recovery.
+        """
+        if self.inflight_limit is None or self._inflight() < self.inflight_limit:
+            return False
+        self.stats.overload_rejections += 1
+        self.endpoint.respond(
+            request, Overloaded(retry_after_us=self.overload_retry_after_us)
+        )
+        return True
+
     def _dispatch_loop(self):
         while self._alive:
             request: RpcRequest = yield self.endpoint.requests.get()
@@ -217,10 +246,15 @@ class DatastoreInstance:
                 # an ACK always means the update is durable in the store —
                 # which makes the client's ack_barrier() a true fence for
                 # handover flushes (§5.1).
+                if self._admission_reject(request):
+                    continue
+                self._thread_for(payload.key).put((payload, request))
+            elif isinstance(payload, (ReadRequest, LockReadRequest)):
+                if self._admission_reject(request):
+                    continue
                 self._thread_for(payload.key).put((payload, request))
             elif isinstance(
-                payload,
-                (ReadRequest, WriteRequest, OwnerRequest, LockReadRequest, WriteUnlockRequest),
+                payload, (WriteRequest, OwnerRequest, WriteUnlockRequest)
             ):
                 self._thread_for(payload.key).put((payload, request))
             elif isinstance(payload, BulkOwnerMove):

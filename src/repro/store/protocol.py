@@ -54,6 +54,22 @@ class OpResult:
 
 
 @dataclass
+class Overloaded:
+    """Retryable admission-control rejection (§8).
+
+    Sent (with ``ok=True`` — this is a reply, not an RPC failure) in place
+    of the normal result when the store is over its in-flight budget. The
+    requested operation was NOT applied; the client backs off
+    ``retry_after_us`` (plus jitter) and reissues. Only data-plane traffic
+    is ever rejected — control-plane requests (ownership moves, watches,
+    takeovers) are always admitted so overload cannot wedge handover or
+    recovery.
+    """
+
+    retry_after_us: float = 50.0
+
+
+@dataclass
 class ReadRequest:
     """Read current value (after applying outstanding background updates)."""
 

@@ -84,6 +84,7 @@ class Packet:
     bitvector: int = 0                  # 32-bit XOR vector (§5.4, Figure 6)
     generation: int = 0                 # root replay pass this copy belongs to
     control: Optional[object] = None    # in-band framework control (move markers)
+    priority: int = 0                   # shed policy: lower sheds first (§8)
 
     # --- measurement ----------------------------------------------------
     ingress_time: float = 0.0           # when the packet entered the chain

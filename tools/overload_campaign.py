@@ -1,0 +1,218 @@
+#!/usr/bin/env python
+"""Run the overload campaign and record ``BENCH_overload.json``.
+
+Two parts:
+
+* **invariant campaign** — N seeds x the overload scenarios
+  (``overload-burst``, ``slow-store``, ``flash-crowd``), each with the
+  autoscaler off and on. Every run is checked for shed accounting (no
+  silent loss), exactly-once externalization, per-flow ordering, no
+  stranded ownership, drained root logs and zero flush give-ups.
+* **knee sweep** — goodput / latency / shed rate at steady offered loads
+  around nominal capacity, autoscaler off vs on. The off-knee sits near
+  1.0x; with the autoscaler the knee moves right because scale-out via
+  the Figure-4 handover adds real capacity.
+
+Usage::
+
+    PYTHONPATH=src python tools/overload_campaign.py --seeds 10
+    PYTHONPATH=src python tools/overload_campaign.py --seeds 3 \
+        --scenarios overload-burst --no-sweep             # CI smoke
+
+Exit status is non-zero if any invariant was violated — the correctness
+gate the CI ``overload-smoke`` job enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+SWEEP_MULTIPLIERS = (0.6, 1.0, 1.4, 2.0)
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "overload campaign (times in simulated microseconds)",
+        f"{'scenario':<16} {'auto':<5} {'runs':>5} {'viol':>5}"
+        f" {'goodput':>8} {'shed':>7} {'p95':>9}",
+    ]
+    for key, row in payload["scenarios"].items():
+        lines.append(
+            f"{row['scenario']:<16} {str(row['autoscale']).lower():<5}"
+            f" {row['runs']:>5} {row['violations']:>5}"
+            f" {row['goodput_ratio_mean']:>8} {row['shed_rate_mean']:>7}"
+            f" {row.get('sojourn_p95_us_mean', '-'):>9}"
+        )
+    if payload.get("knee"):
+        lines.append("")
+        lines.append(f"{'offered':>8} {'auto-off':>9} {'auto-on':>9}")
+        by_mult: dict = {}
+        for point in payload["knee"]:
+            by_mult.setdefault(point["multiplier"], {})[point["autoscale"]] = point
+        for mult in sorted(by_mult):
+            off = by_mult[mult].get(False, {})
+            on = by_mult[mult].get(True, {})
+            lines.append(
+                f"{mult:>7}x {off.get('goodput_ratio', '-'):>9}"
+                f" {on.get('goodput_ratio', '-'):>9}"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    from repro.chaos.overload import (
+        OVERLOAD_SCENARIOS,
+        measure_load_point,
+        run_overload_scenario,
+    )
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=10, help="seeds per scenario")
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        choices=sorted(OVERLOAD_SCENARIOS),
+        default=None,
+        help="subset of scenarios (default: all)",
+    )
+    parser.add_argument(
+        "--no-sweep",
+        action="store_true",
+        help="skip the goodput-knee load sweep (faster; CI smoke)",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_overload.json"),
+        help="output path (default: BENCH_overload.json at the repo root)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-run progress"
+    )
+    args = parser.parse_args(argv)
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+
+    names = args.scenarios or sorted(OVERLOAD_SCENARIOS)
+    t0 = time.time()
+    outcomes = []
+    for name in names:
+        spec = OVERLOAD_SCENARIOS[name]
+        for autoscale in (False, True):
+            for seed in range(args.seeds):
+                outcome = run_overload_scenario(spec, seed, autoscale=autoscale)
+                outcomes.append(outcome)
+                if not args.quiet:
+                    mark = "ok" if outcome.ok else (
+                        f"{len(outcome.violations)} VIOLATIONS"
+                    )
+                    print(
+                        f"  {name:<16} auto={str(autoscale).lower():<5}"
+                        f" seed={seed:<3} goodput={outcome.goodput_ratio:.3f}"
+                        f" {mark}",
+                        flush=True,
+                    )
+
+    knee = []
+    if not args.no_sweep:
+        for multiplier in SWEEP_MULTIPLIERS:
+            for autoscale in (False, True):
+                knee.append(measure_load_point(multiplier, autoscale, seed=0))
+                if not args.quiet:
+                    point = knee[-1]
+                    print(
+                        f"  knee x{multiplier} auto={str(autoscale).lower():<5}"
+                        f" goodput={point['goodput_ratio']}",
+                        flush=True,
+                    )
+    wall_s = time.time() - t0
+
+    def _mean(values):
+        values = [v for v in values if v is not None]
+        return round(sum(values) / len(values), 4) if values else None
+
+    per_group: dict = {}
+    for outcome in outcomes:
+        key = f"{outcome.scenario}/auto={str(outcome.autoscale).lower()}"
+        per_group.setdefault(key, []).append(outcome)
+    scenarios_payload = {}
+    for key, group in sorted(per_group.items()):
+        scenarios_payload[key] = {
+            "scenario": group[0].scenario,
+            "autoscale": group[0].autoscale,
+            "runs": len(group),
+            "violations": sum(len(o.violations) for o in group),
+            "goodput_ratio_mean": _mean([o.goodput_ratio for o in group]),
+            "shed_rate_mean": _mean(
+                [
+                    (sum(o.sheds.values()) / o.injected) if o.injected else 0.0
+                    for o in group
+                ]
+            ),
+            "sojourn_p50_us_mean": _mean([o.sojourn_p50_us for o in group]),
+            "sojourn_p95_us_mean": _mean([o.sojourn_p95_us for o in group]),
+            "stale_reads_total": sum(o.stale_reads for o in group),
+            "breaker_opens_total": sum(o.breaker_opens for o in group),
+            "store_overload_rejections_total": sum(
+                o.store_overload_rejections for o in group
+            ),
+            "scale_outs_total": sum(
+                o.autoscaler["scale_outs"] for o in group if o.autoscaler
+            ),
+            "scale_ins_total": sum(
+                o.autoscaler["scale_ins"] for o in group if o.autoscaler
+            ),
+        }
+
+    total_violations = sum(len(o.violations) for o in outcomes) + sum(
+        len(point["violations"]) for point in knee
+    )
+    payload = {
+        "campaign": {
+            "runs": len(outcomes),
+            "violations": total_violations,
+            "ok": total_violations == 0,
+        },
+        "scenarios": scenarios_payload,
+        "knee": knee,
+        "violations": [
+            {"scenario": o.scenario, "seed": o.seed, "autoscale": o.autoscale,
+             **v.as_dict()}
+            for o in outcomes
+            for v in o.violations
+        ],
+        "meta": {
+            "benchmark": "overload_campaign",
+            "seeds": args.seeds,
+            "scenarios": names,
+            "sweep_multipliers": [] if args.no_sweep else list(SWEEP_MULTIPLIERS),
+            "wall_s": round(wall_s, 1),
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+        },
+    }
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    print(render(payload))
+    print(f"\nwrote {args.output} ({len(outcomes)} runs, {wall_s:.1f}s)")
+    if total_violations:
+        print(f"INVARIANT VIOLATIONS: {total_violations}", file=sys.stderr)
+        for violation in payload["violations"]:
+            print(f"  {violation}", file=sys.stderr)
+        return 1
+    print("all invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
