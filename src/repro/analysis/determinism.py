@@ -1,0 +1,180 @@
+"""Same-seed double-run determinism checking (DESIGN.md §9.3).
+
+Every BENCH_* number and every chaos/overload invariant gate assumes a
+scenario run is a pure function of its seed. This module makes that
+checkable: run a scenario N times under one seed, digest the full
+observable stream of each run (ordered egress, drop ledger, shed causes,
+per-component stats, engine counters), and compare. Any divergence —
+a stray ``set`` iteration, a wall-clock read, a process-global counter
+leaking into routing — shows up as a digest mismatch.
+
+Driven by ``tools/determinism_check.py`` and the CI determinism-smoke
+job.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+from typing import Any, Dict, List, Optional, Sequence
+
+
+def _canon(obj: Any) -> Any:
+    """Canonicalise ``obj`` into a deterministically-reprable structure."""
+    if isinstance(obj, dict):
+        return tuple(sorted((repr(_canon(k)), _canon(v)) for k, v in obj.items()))
+    if isinstance(obj, (list, tuple)):
+        return tuple(_canon(item) for item in obj)
+    if isinstance(obj, (set, frozenset)):
+        return tuple(sorted(repr(_canon(item)) for item in obj))
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return _canon(dataclasses.asdict(obj))
+    if isinstance(obj, float):
+        return repr(obj)
+    return obj
+
+
+def _stats_of(component: Any) -> Any:
+    stats = getattr(component, "stats", None)
+    if stats is None:
+        return None
+    if dataclasses.is_dataclass(stats) and not isinstance(stats, type):
+        return _canon(dataclasses.asdict(stats))
+    return _canon(vars(stats))
+
+
+def runtime_digest(runtime) -> str:
+    """SHA-256 over the run's full observable stream, in event order."""
+    egress = [
+        (
+            vertex,
+            packet.payload,
+            packet.clock,
+            packet.five_tuple.canonical().key(),
+        )
+        for vertex, packet in runtime.egress._items
+    ]
+    record: List[Any] = [
+        ("now", repr(runtime.sim.now)),
+        ("egress", _canon(egress)),
+        ("egress_sojourns", _canon(list(runtime.egress_recorder.values))),
+        ("duplicates_suppressed", runtime.duplicates_suppressed),
+        ("drops", _canon(dict(runtime.network.drops))),
+        ("engine", _canon(runtime.engine_report())),
+        (
+            "instances",
+            _canon(
+                {
+                    instance_id: _stats_of(instance)
+                    for instance_id, instance in runtime.instances.items()
+                }
+            ),
+        ),
+        ("stores", _canon({store.name: _stats_of(store) for store in runtime.stores})),
+        ("roots", _canon({root.name: _stats_of(root) for root in runtime.roots})),
+    ]
+    return hashlib.sha256(repr(record).encode("utf-8")).hexdigest()
+
+
+def chaos_digest(scenario: str, seed: int, sanitize: bool = False) -> str:
+    """Digest one chaos-campaign run of ``scenario`` under ``seed``."""
+    from repro.analysis.runtime import sanitized
+    from repro.chaos.campaign import SCENARIOS, run_scenario
+
+    spec = SCENARIOS[scenario]
+    captured: List[str] = []
+
+    def collect(runtime) -> None:
+        captured.append(runtime_digest(runtime))
+
+    if sanitize:
+        with sanitized():
+            run_scenario(spec, seed, collect_runtime=collect)
+    else:
+        run_scenario(spec, seed, collect_runtime=collect)
+    return captured[0]
+
+
+def overload_digest(
+    scenario: str, seed: int, autoscale: bool = False, sanitize: bool = False
+) -> str:
+    """Digest one overload-scenario run of ``scenario`` under ``seed``."""
+    from repro.analysis.runtime import sanitized
+    from repro.chaos.overload import SCENARIOS, run_overload_scenario
+
+    spec = SCENARIOS[scenario]
+    captured: List[str] = []
+
+    def collect(runtime) -> None:
+        captured.append(runtime_digest(runtime))
+
+    if sanitize:
+        with sanitized():
+            run_overload_scenario(spec, seed, autoscale=autoscale, collect_runtime=collect)
+    else:
+        run_overload_scenario(spec, seed, autoscale=autoscale, collect_runtime=collect)
+    return captured[0]
+
+
+def check_determinism(
+    seeds: Sequence[int],
+    runs: int = 2,
+    chaos: Sequence[str] = (),
+    overload: Sequence[str] = (),
+    sanitize: bool = False,
+    progress: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Run each scenario ``runs`` times per seed; report digest mismatches.
+
+    Returns a report dict with one entry per (scenario, seed) giving the
+    digests observed and whether they all agree; ``report["ok"]`` is the
+    overall verdict.
+    """
+    cases: List[Dict[str, Any]] = []
+    for name in chaos:
+        for seed in seeds:
+            digests = [chaos_digest(name, seed, sanitize=sanitize) for _ in range(runs)]
+            case = {
+                "kind": "chaos",
+                "scenario": name,
+                "seed": seed,
+                "digests": digests,
+                "ok": len(set(digests)) == 1,
+            }
+            cases.append(case)
+            if progress is not None:
+                progress(case)
+    for name in overload:
+        for seed in seeds:
+            digests = [overload_digest(name, seed, sanitize=sanitize) for _ in range(runs)]
+            case = {
+                "kind": "overload",
+                "scenario": name,
+                "seed": seed,
+                "digests": digests,
+                "ok": len(set(digests)) == 1,
+            }
+            cases.append(case)
+            if progress is not None:
+                progress(case)
+
+    # Different seeds should (almost always) produce different streams;
+    # identical cross-seed digests suggest the seed isn't reaching the run.
+    by_scenario: Dict[str, set] = {}
+    for case in cases:
+        if case["ok"]:
+            by_scenario.setdefault(f"{case['kind']}:{case['scenario']}", set()).add(
+                case["digests"][0]
+            )
+    seed_sensitivity = {
+        scenario: len(digests) > 1 or len(seeds) <= 1
+        for scenario, digests in by_scenario.items()
+    }
+    return {
+        "runs_per_seed": runs,
+        "seeds": list(seeds),
+        "cases": cases,
+        "seed_sensitivity": seed_sensitivity,
+        "mismatches": [case for case in cases if not case["ok"]],
+        "ok": all(case["ok"] for case in cases),
+    }

@@ -1,0 +1,688 @@
+"""chclint — AST lint rules for the CHC reproduction's house invariants.
+
+Every guarantee this repo reproduces (loss-free Figure-4 handover, XOR
+bit-vector log draining, TS-selection recovery, seed-reproducible
+campaigns) rests on conventions the language does not enforce. chclint
+turns them into machine-checked rules:
+
+====== =================================================================
+Code   Rule
+====== =================================================================
+CHC001 Unseeded / module-level randomness: ``random.*`` calls (other
+       than constructing a ``random.Random``), ``from random import
+       ...``, or any use of ``numpy.random`` inside ``src/repro``. All
+       nondeterminism must flow through seeded ``random.Random``
+       instances.
+CHC002 Wall-clock reads (``time.time``, ``perf_counter``, ``monotonic``,
+       ``datetime.now`` …) outside ``tools/`` / benchmark code. The
+       simulator is the only clock; wall-clock reads break
+       seed-reproducibility and virtual-time accounting.
+CHC003 Iterating a ``set``/``frozenset`` or ``dict.values()`` where the
+       loop body schedules or emits (``put``, ``send``, ``emit``,
+       ``process``, …) without ``sorted(...)``. Set order depends on
+       PYTHONHASHSEED; it is the classic silent nondeterminism leak.
+CHC004 ``id(obj)`` used as a persisted key (dict subscript,
+       ``get``/``setdefault``/``pop``/``add``/``discard``/``remove``,
+       or membership tests). A GC'd object's id is reused, so a later
+       object can silently collide with a dead one's entry.
+CHC005 NF code (``repro/nfs/``) writing state outside the store API:
+       ``self.<attr>`` assignment outside ``__init__``, ``global``
+       statements, or reaching into store internals (``_data``,
+       ``_cache``, ``_owners``). Per-flow/shared state must go through
+       the scope API or it is invisible to handover and recovery.
+====== =================================================================
+
+Suppression: append ``# chclint: disable=CHC003`` (comma-separate for
+several codes, or ``disable=all``) to the offending line.
+
+Run as ``python -m repro.analysis.lint [paths ...]``; add ``--json`` for
+a machine-readable report. Exit status: 0 clean, 1 findings, 2 bad
+input/syntax errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import io
+import json
+import re
+import sys
+import tokenize
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Set
+
+ALL_RULES: Dict[str, str] = {
+    "CHC001": "unseeded or module-level randomness",
+    "CHC002": "wall-clock read outside tools/benchmarks",
+    "CHC003": "unsorted set/dict.values() iteration feeding scheduling or emission",
+    "CHC004": "id(obj) used as a persisted key",
+    "CHC005": "NF state write bypassing the store API",
+}
+
+#: Path fragments whose files may read the wall clock (CHC002 exempt):
+#: host-side drivers and benchmark harnesses measure real elapsed time.
+WALL_CLOCK_EXEMPT_PARTS = ("tools", "benchmarks", "bench")
+
+WALL_CLOCK_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "monotonic",
+    "monotonic_ns",
+    "process_time",
+    "process_time_ns",
+}
+WALL_CLOCK_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+#: Call names that mean "this loop feeds the scheduler or the wire".
+EMIT_NAMES = {
+    "put",
+    "put_forced",
+    "put_front",
+    "send",
+    "emit",
+    "inject",
+    "enqueue",
+    "dispatch",
+    "schedule",
+    "process",
+    "succeed",
+    "fail",
+    "respond",
+    "call_soon",
+}
+
+#: Container methods whose first argument becomes a persisted key.
+ID_KEY_METHODS = {"get", "setdefault", "pop", "add", "discard", "remove", "append"}
+
+#: numpy.random names that *construct seeded generators* — these are the
+#: sanctioned way to use numpy randomness, not the process-global state.
+NUMPY_SEEDED_CTORS = {"default_rng", "Generator", "SeedSequence", "PCG64", "Philox", "MT19937"}
+
+_SUPPRESS_RE = re.compile(r"chclint:\s*disable=([A-Za-z0-9, ]+)")
+
+
+@dataclass(frozen=True)
+class Finding:
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "code": self.code,
+            "message": self.message,
+        }
+
+
+def _suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number → set of suppressed codes (``{"all"}`` for all)."""
+    out: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _SUPPRESS_RE.search(tok.string)
+            if match is None:
+                continue
+            codes = {part.strip() for part in match.group(1).split(",") if part.strip()}
+            out.setdefault(tok.start[0], set()).update(
+                {"all"} if "all" in {c.lower() for c in codes} else codes
+            )
+    except tokenize.TokenError:
+        pass
+    return out
+
+
+def _exempt_codes(path: Path) -> Set[str]:
+    parts = set(path.parts)
+    exempt: Set[str] = set()
+    if parts & set(WALL_CLOCK_EXEMPT_PARTS):
+        exempt.add("CHC002")
+    if "nfs" not in parts:
+        exempt.add("CHC005")
+    return exempt
+
+
+def _is_id_call(node: ast.AST) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "id"
+        and len(node.args) == 1
+    )
+
+
+def _call_name(node: ast.Call) -> Optional[str]:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    if isinstance(node.func, ast.Attribute):
+        return node.func.attr
+    return None
+
+
+class _Checker(ast.NodeVisitor):
+    def __init__(self, path: Path, rel: str):
+        self.path = path
+        self.rel = rel
+        self.findings: List[Finding] = []
+        self.disabled = _exempt_codes(path)
+        # CHC001 alias tracking
+        self.random_modules: Set[str] = set()
+        self.random_funcs: Set[str] = set()
+        self.numpy_modules: Set[str] = set()
+        # CHC002 alias tracking
+        self.time_modules: Set[str] = set()
+        self.datetime_names: Set[str] = set()  # names bound to the datetime class/module
+        # CHC003 set inference: per-scope known-set names; class-level set attrs
+        self.scope_sets: List[Set[str]] = [set()]
+        self.self_set_attrs: Set[str] = set()
+        # CHC005 context
+        self.function_stack: List[str] = []
+
+    # ------------------------------------------------------------------
+
+    def report(self, node: ast.AST, code: str, message: str) -> None:
+        if code in self.disabled:
+            return
+        self.findings.append(
+            Finding(
+                path=self.rel,
+                line=getattr(node, "lineno", 1),
+                col=getattr(node, "col_offset", 0) + 1,
+                code=code,
+                message=message,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    # imports (alias bookkeeping + CHC001/CHC002 from-imports)
+    # ------------------------------------------------------------------
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            bound = alias.asname or alias.name.split(".")[0]
+            if alias.name == "random":
+                self.random_modules.add(bound)
+            elif alias.name in ("numpy", "numpy.random"):
+                self.numpy_modules.add(bound)
+                if alias.name == "numpy.random":
+                    self.report(
+                        node,
+                        "CHC001",
+                        "numpy.random is process-global state; use a seeded "
+                        "random.Random (or numpy Generator) instance",
+                    )
+            elif alias.name == "time":
+                self.time_modules.add(bound)
+            elif alias.name == "datetime":
+                self.datetime_names.add(bound)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name in ("Random", "SystemRandom"):
+                    continue
+                self.random_funcs.add(alias.asname or alias.name)
+                self.report(
+                    node,
+                    "CHC001",
+                    f"'from random import {alias.name}' binds the module-level "
+                    "(unseeded) generator; use a seeded random.Random instance",
+                )
+        elif node.module == "time":
+            for alias in node.names:
+                if alias.name in WALL_CLOCK_TIME_ATTRS:
+                    self.report(
+                        node,
+                        "CHC002",
+                        f"'from time import {alias.name}' reads the wall clock; "
+                        "simulation code must use sim.now",
+                    )
+        elif node.module == "datetime":
+            for alias in node.names:
+                if alias.name == "datetime":
+                    self.datetime_names.add(alias.asname or alias.name)
+        elif node.module in ("numpy", "numpy.random"):
+            for alias in node.names:
+                if node.module == "numpy" and alias.name == "random":
+                    self.numpy_modules.add("numpy")
+                    self.report(
+                        node,
+                        "CHC001",
+                        "numpy.random is process-global state; use a seeded "
+                        "random.Random (or numpy Generator) instance",
+                    )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # calls: CHC001, CHC002, CHC004 (method-key forms)
+    # ------------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        func = node.func
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            owner = func.value.id
+            if owner in self.random_modules and func.attr not in ("Random", "SystemRandom"):
+                self.report(
+                    node,
+                    "CHC001",
+                    f"random.{func.attr}() uses the module-level (unseeded) "
+                    "generator; use a seeded random.Random instance",
+                )
+            if owner in self.time_modules and func.attr in WALL_CLOCK_TIME_ATTRS:
+                self.report(
+                    node,
+                    "CHC002",
+                    f"time.{func.attr}() reads the wall clock; simulation code "
+                    "must use sim.now",
+                )
+            if owner in self.datetime_names and func.attr in WALL_CLOCK_DATETIME_ATTRS:
+                self.report(
+                    node,
+                    "CHC002",
+                    f"datetime.{func.attr}() reads the wall clock; simulation "
+                    "code must use sim.now",
+                )
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Attribute):
+            inner = func.value
+            if (
+                isinstance(inner.value, ast.Name)
+                and inner.value.id in self.datetime_names
+                and func.attr in WALL_CLOCK_DATETIME_ATTRS
+            ):
+                self.report(
+                    node,
+                    "CHC002",
+                    f"datetime.datetime.{func.attr}() reads the wall clock; "
+                    "simulation code must use sim.now",
+                )
+        if isinstance(func, ast.Name) and func.id in self.random_funcs:
+            self.report(
+                node,
+                "CHC001",
+                f"{func.id}() is the module-level (unseeded) random generator; "
+                "use a seeded random.Random instance",
+            )
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in ID_KEY_METHODS
+            and node.args
+            and _is_id_call(node.args[0])
+        ):
+            self.report(
+                node,
+                "CHC004",
+                f".{func.attr}(id(...)) persists an object id as a key; ids are "
+                "reused after GC — key on a monotonic id field instead",
+            )
+        self.generic_visit(node)
+
+    # CHC001: attribute access on numpy's `random` submodule. Seeded
+    # generator constructors (np.random.default_rng(seed), …) are the
+    # sanctioned idiom and pass; everything else is process-global state.
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        value = node.value
+        if (
+            isinstance(value, ast.Attribute)
+            and value.attr == "random"
+            and isinstance(value.value, ast.Name)
+            and value.value.id in self.numpy_modules
+        ):
+            if node.attr not in NUMPY_SEEDED_CTORS:
+                self.report(
+                    node,
+                    "CHC001",
+                    f"numpy.random.{node.attr} is process-global state; use a "
+                    "seeded random.Random (or np.random.default_rng) instance",
+                )
+            return  # don't re-flag the inner np.random access
+        if (
+            node.attr == "random"
+            and isinstance(node.value, ast.Name)
+            and node.value.id in self.numpy_modules
+        ):
+            self.report(
+                node,
+                "CHC001",
+                "numpy.random is process-global state; use a seeded "
+                "random.Random (or np.random.default_rng) instance",
+            )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # CHC004: subscript / membership forms
+    # ------------------------------------------------------------------
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        key = node.slice
+        if isinstance(key, ast.Index):  # pragma: no cover - py<3.9 AST shape
+            key = key.value  # type: ignore[attr-defined]
+        if _is_id_call(key):
+            self.report(
+                node,
+                "CHC004",
+                "subscripting with id(...) persists an object id as a key; ids "
+                "are reused after GC — key on a monotonic id field instead",
+            )
+        self.generic_visit(node)
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        if (
+            _is_id_call(node.left)
+            and len(node.ops) == 1
+            and isinstance(node.ops[0], (ast.In, ast.NotIn))
+        ):
+            self.report(
+                node,
+                "CHC004",
+                "membership test on stored id(...) keys; ids are reused after "
+                "GC — key on a monotonic id field instead",
+            )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # CHC003: set / dict.values() iteration feeding emission
+    # ------------------------------------------------------------------
+
+    def _is_set_expr(self, node: ast.AST) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            if node.func.id in ("set", "frozenset"):
+                return True
+        if isinstance(node, ast.Name):
+            return any(node.id in scope for scope in self.scope_sets)
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            return node.attr in self.self_set_attrs
+        if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.BitOr, ast.BitAnd, ast.Sub)):
+            return self._is_set_expr(node.left) or self._is_set_expr(node.right)
+        return False
+
+    @staticmethod
+    def _is_values_call(node: ast.AST) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "values"
+            and not node.args
+        )
+
+    @staticmethod
+    def _annotation_is_set(annotation: Optional[ast.AST]) -> bool:
+        if annotation is None:
+            return False
+        if isinstance(annotation, ast.Name):
+            return annotation.id in ("set", "frozenset", "Set", "FrozenSet")
+        if isinstance(annotation, ast.Subscript) and isinstance(annotation.value, ast.Name):
+            return annotation.value.id in ("set", "frozenset", "Set", "FrozenSet")
+        return False
+
+    def _note_assignment(self, target: ast.AST, value: Optional[ast.AST]) -> None:
+        is_set = value is not None and self._is_set_expr(value)
+        if isinstance(target, ast.Name):
+            if is_set:
+                self.scope_sets[-1].add(target.id)
+            else:
+                self.scope_sets[-1].discard(target.id)
+        elif (
+            isinstance(target, ast.Attribute)
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+            and is_set
+        ):
+            self.self_set_attrs.add(target.attr)
+
+    def _body_emits(self, body: Sequence[ast.stmt]) -> Optional[ast.Call]:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Call):
+                    name = _call_name(node)
+                    if name in EMIT_NAMES:
+                        return node
+        return None
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._note_assignment(target, node.value)
+        self.generic_visit(node)
+        self._check_chc005_assign(node.targets, node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if self._annotation_is_set(node.annotation) and isinstance(node.target, ast.Name):
+            self.scope_sets[-1].add(node.target.id)
+        elif (
+            self._annotation_is_set(node.annotation)
+            and isinstance(node.target, ast.Attribute)
+            and isinstance(node.target.value, ast.Name)
+            and node.target.value.id == "self"
+        ):
+            self.self_set_attrs.add(node.target.attr)
+        else:
+            self._note_assignment(node.target, node.value)
+        self.generic_visit(node)
+        self._check_chc005_assign([node.target], node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self.generic_visit(node)
+        self._check_chc005_assign([node.target], node)
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iteration(node.iter, node.body, node)
+        self.generic_visit(node)
+
+    def _check_iteration(self, iter_node: ast.AST, body: Sequence[ast.stmt], where: ast.AST) -> None:
+        if self._is_set_expr(iter_node):
+            emit = self._body_emits(body)
+            if emit is not None:
+                self.report(
+                    where,
+                    "CHC003",
+                    "iterating a set in a loop that emits/schedules "
+                    f"(.{_call_name(emit)}) — set order depends on the hash "
+                    "seed; wrap the iterable in sorted(...)",
+                )
+        elif self._is_values_call(iter_node):
+            emit = self._body_emits(body)
+            if emit is not None:
+                self.report(
+                    where,
+                    "CHC003",
+                    "iterating dict.values() in a loop that emits/schedules "
+                    f"(.{_call_name(emit)}) — make the order explicit with "
+                    "sorted(...) over keys or items",
+                )
+
+    def _visit_comprehension(self, node) -> None:
+        for gen in node.generators:
+            if self._is_set_expr(gen.iter) or self._is_values_call(gen.iter):
+                elt = getattr(node, "elt", None) or getattr(node, "value", None)
+                emit = self._body_emits([ast.Expr(value=elt)]) if elt is not None else None
+                if emit is not None:
+                    self.report(
+                        node,
+                        "CHC003",
+                        "comprehension over a set/dict.values() whose element "
+                        f"expression emits/schedules (.{_call_name(emit)}); wrap "
+                        "the iterable in sorted(...)",
+                    )
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comprehension
+    visit_SetComp = _visit_comprehension
+    visit_GeneratorExp = _visit_comprehension
+    visit_DictComp = _visit_comprehension
+
+    # ------------------------------------------------------------------
+    # CHC005: NF state discipline (only active under repro/nfs/)
+    # ------------------------------------------------------------------
+
+    def _check_chc005_assign(self, targets: Iterable[ast.AST], node: ast.AST) -> None:
+        if "CHC005" in self.disabled:
+            return
+        if not self.function_stack or self.function_stack[-1] in ("__init__", "state_specs"):
+            return
+        for target in targets:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == "self"
+            ):
+                self.report(
+                    node,
+                    "CHC005",
+                    f"NF writes self.{target.attr} outside __init__ — per-flow/"
+                    "shared state must go through the store scope API or it is "
+                    "invisible to handover and recovery",
+                )
+
+    def visit_Global(self, node: ast.Global) -> None:
+        if "CHC005" not in self.disabled and self.function_stack:
+            self.report(
+                node,
+                "CHC005",
+                "NF mutates module globals — state must go through the store "
+                "scope API or it is invisible to handover and recovery",
+            )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # scope bookkeeping
+    # ------------------------------------------------------------------
+
+    def _visit_function(self, node) -> None:
+        self.function_stack.append(node.name)
+        self.scope_sets.append(set())
+        for arg in list(node.args.args) + list(getattr(node.args, "kwonlyargs", ())):
+            if self._annotation_is_set(arg.annotation):
+                self.scope_sets[-1].add(arg.arg)
+        self.generic_visit(node)
+        self.scope_sets.pop()
+        self.function_stack.pop()
+
+    visit_FunctionDef = _visit_function
+    visit_AsyncFunctionDef = _visit_function
+
+
+def check_source(source: str, path: Path, root: Optional[Path] = None) -> List[Finding]:
+    """Lint one file's source; returns suppression-filtered findings."""
+    rel = str(path)
+    if root is not None:
+        try:
+            rel = str(path.relative_to(root))
+        except ValueError:
+            rel = str(path)
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        return [
+            Finding(
+                path=rel,
+                line=exc.lineno or 1,
+                col=(exc.offset or 0) + 1,
+                code="CHC000",
+                message=f"syntax error: {exc.msg}",
+            )
+        ]
+    checker = _Checker(path, rel)
+    checker.visit(tree)
+    suppressed = _suppressions(source)
+    out = []
+    for finding in checker.findings:
+        codes = suppressed.get(finding.line, ())
+        if "all" in codes or finding.code in codes:
+            continue
+        out.append(finding)
+    return sorted(out, key=lambda f: (f.path, f.line, f.col, f.code))
+
+
+def check_file(path: Path, root: Optional[Path] = None) -> List[Finding]:
+    return check_source(path.read_text(encoding="utf-8"), path, root=root)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterable[Path]:
+    for path in paths:
+        if path.is_dir():
+            for sub in sorted(path.rglob("*.py")):
+                if "__pycache__" in sub.parts or any(
+                    part.startswith(".") for part in sub.parts
+                ):
+                    continue
+                yield sub
+        elif path.suffix == ".py":
+            yield path
+
+
+def run_paths(
+    paths: Sequence[Path],
+    select: Optional[Set[str]] = None,
+    root: Optional[Path] = None,
+) -> List[Finding]:
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(check_file(path, root=root))
+    if select:
+        findings = [f for f in findings if f.code in select or f.code == "CHC000"]
+    return findings
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="chclint", description="CHC repo-invariant linter (see DESIGN.md §9.1)"
+    )
+    parser.add_argument("paths", nargs="+", help="files or directories to lint")
+    parser.add_argument("--json", action="store_true", help="emit a JSON report")
+    parser.add_argument(
+        "--select",
+        default="",
+        help="comma-separated rule codes to enable (default: all)",
+    )
+    args = parser.parse_args(argv)
+
+    select = {code.strip() for code in args.select.split(",") if code.strip()} or None
+    if select and not select <= set(ALL_RULES):
+        parser.error(f"unknown rule codes: {sorted(select - set(ALL_RULES))}")
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        parser.error(f"no such path: {missing[0]}")
+
+    findings = run_paths(paths, select=select)
+    if args.json:
+        report = {
+            "tool": "chclint",
+            "rules": ALL_RULES,
+            "findings": [f.as_dict() for f in findings],
+            "count": len(findings),
+        }
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        for finding in findings:
+            print(finding.format())
+        if findings:
+            print(f"chclint: {len(findings)} finding(s)")
+    if any(f.code == "CHC000" for f in findings):
+        return 2
+    return 1 if findings else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,302 @@
+"""Runtime sanitizers for CHC invariants (DESIGN.md §9.2).
+
+Three detectors, each loud-by-construction — they *raise* at the first
+violation, naming the parties, instead of letting a race corrupt state
+silently or a backpressure cycle hang until pytest-timeout:
+
+- :class:`OwnershipSanitizer` — a TSan analogue for CHC state: records
+  ``storage key → (writer instance, handover epoch)`` and raises
+  :class:`OwnershipRaceError` when a *different* instance's write is
+  applied to per-flow state without an intervening ownership transfer
+  (Figure-4 bulk move, associate/disassociate, takeover, or clone
+  registration). Shared (cross-flow) objects carry no instance ID and are
+  serialized by the store — multi-writer access to them is legal and
+  ignored. Writes the store *rejects* are already defended and are only
+  counted, not raised.
+- :class:`ClockSanitizer` — logical clocks must be strictly monotone per
+  root, **across failovers**: a recovered root that re-issues an old
+  clock would resurrect retired log entries and break duplicate
+  suppression. Raises :class:`ClockMonotonicityError`.
+- :class:`WaitGraph` — a deadlock detector over the backpressure wait
+  edges (worker-queue ``space_event``, NIC ``deliver_wait``, hop-space
+  waits, RPC call waiters). Every park registers a labelled edge
+  ``waiter → holder``; a cycle raises :class:`DeadlockError` naming the
+  full loop at the moment it closes.
+
+All state is keyed to one :class:`~repro.simnet.engine.Simulator`; the
+suite resets itself when it sees a different simulator object, so one
+installed suite serves an entire multi-run campaign.
+
+Errors derive from :class:`AssertionError`: a sanitizer firing inside a
+simulator process aborts ``sim.run`` with the diagnostic, exactly like a
+failed invariant assertion.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+KEY_SEP = "\x1f"  # StateKey.storage_key separator: vertex \x1f obj \x1f flow
+
+
+class SanitizerError(AssertionError):
+    """Base class for all sanitizer violations."""
+
+
+class OwnershipRaceError(SanitizerError):
+    """Two instances wrote one per-flow key without a handover between."""
+
+
+class ClockMonotonicityError(SanitizerError):
+    """A root issued a logical clock that does not exceed its last one."""
+
+
+class DeadlockError(SanitizerError):
+    """The backpressure wait graph closed a cycle."""
+
+
+class OwnershipSanitizer:
+    """Track per-flow writers and handover epochs; raise on silent races."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        # key -> (writer instance, epoch at time of write)
+        self._writers: Dict[str, Tuple[str, int]] = {}
+        # key -> current handover epoch (bumped by every transfer)
+        self._epochs: Dict[str, int] = {}
+        # clone -> original (clones legitimately co-write the original's keys)
+        self._clone_of: Dict[str, str] = {}
+        self.writes_checked = 0
+        self.transfers_seen = 0
+        self.rejects_seen = 0
+
+    @staticmethod
+    def _is_shared(key: str) -> bool:
+        """Shared/cross-flow objects (empty flow part) allow multi-writer."""
+        parts = key.split(KEY_SEP)
+        return len(parts) != 3 or parts[2] == ""
+
+    def _same_party(self, a: str, b: str) -> bool:
+        if a == b:
+            return True
+        return self._clone_of.get(a) == b or self._clone_of.get(b) == a
+
+    def note_transfer(self, key: str, new_owner: Optional[str], kind: str) -> None:
+        """An ownership transfer touched ``key`` (move/associate/takeover)."""
+        self.transfers_seen += 1
+        self._epochs[key] = self._epochs.get(key, 0) + 1
+
+    def note_clone(self, original: str, clone: str, register: bool) -> None:
+        if register:
+            self._clone_of[clone] = original
+        else:
+            self._clone_of.pop(clone, None)
+
+    def note_reject(self, key: str, instance: str, owner: Optional[str]) -> None:
+        """The store refused a wrong-owner write — defended, just counted."""
+        self.rejects_seen += 1
+
+    def note_apply(self, key: str, instance: str) -> None:
+        """A mutation by ``instance`` is about to be applied to ``key``."""
+        if not instance or self._is_shared(key):
+            return
+        self.writes_checked += 1
+        epoch = self._epochs.get(key, 0)
+        previous = self._writers.get(key)
+        if (
+            previous is not None
+            and previous[1] == epoch
+            and not self._same_party(previous[0], instance)
+        ):
+            raise OwnershipRaceError(
+                f"ownership race on per-flow key {key.replace(KEY_SEP, '/')!r}: "
+                f"instance {instance!r} wrote after {previous[0]!r} with no "
+                f"ownership transfer in between (handover epoch {epoch}) — "
+                "a Figure-4 move, associate, or takeover must separate writers"
+            )
+        self._writers[key] = (instance, epoch)
+
+
+class ClockSanitizer:
+    """Logical clocks strictly increase per root, across failovers."""
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._last: Dict[int, Tuple[int, str]] = {}  # root_id -> (clock, issuer)
+        self.clocks_checked = 0
+
+    def note_issue(self, root_id: int, clock: int, issuer: str) -> None:
+        self.clocks_checked += 1
+        last = self._last.get(root_id)
+        if last is not None and clock <= last[0]:
+            raise ClockMonotonicityError(
+                f"root id {root_id} ({issuer!r}) issued clock {clock} after "
+                f"{last[0]} (issued by {last[1]!r}) — logical clocks must be "
+                "strictly monotone per root, including across failover resume"
+            )
+        self._last[root_id] = (clock, issuer)
+
+
+class WaitGraph:
+    """Labelled backpressure wait edges with eager cycle detection.
+
+    Nodes are strings (``rx:<instance>``, ``wkr:<instance>``,
+    ``nic:<instance>``, ``rpc:<endpoint>``). Edges are counted — the same
+    park can be outstanding multiple times — and removed when the wait
+    completes. Adding an edge whose destination can already reach its
+    source raises :class:`DeadlockError` with the full cycle spelled out.
+    """
+
+    def __init__(self) -> None:
+        self.reset()
+
+    def reset(self) -> None:
+        self._edges: Dict[str, Dict[str, int]] = {}
+        self.edges_added = 0
+        self.max_outstanding = 0
+
+    def _path(self, start: str, goal: str) -> Optional[List[str]]:
+        """A path start→…→goal along current edges, or ``None``."""
+        parents: Dict[str, Optional[str]] = {start: None}
+        frontier = [start]
+        while frontier:
+            node = frontier.pop()
+            for nxt in self._edges.get(node, ()):
+                if nxt in parents:
+                    continue
+                parents[nxt] = node
+                if nxt == goal:
+                    path = [goal]
+                    while path[-1] != start:
+                        path.append(parents[path[-1]])  # type: ignore[arg-type]
+                    path.reverse()
+                    return path
+                frontier.append(nxt)
+        return None
+
+    def add(self, src: str, dst: str) -> None:
+        back = self._path(dst, src)
+        outgoing = self._edges.setdefault(src, {})
+        outgoing[dst] = outgoing.get(dst, 0) + 1
+        self.edges_added += 1
+        outstanding = sum(
+            count for targets in self._edges.values() for count in targets.values()
+        )
+        self.max_outstanding = max(self.max_outstanding, outstanding)
+        if back is not None:
+            cycle = [src] + back  # src -> dst -> ... -> src
+            raise DeadlockError("backpressure deadlock: " + " -> ".join(cycle))
+
+    def remove(self, src: str, dst: str) -> None:
+        outgoing = self._edges.get(src)
+        if not outgoing or dst not in outgoing:
+            return  # reset() may have dropped the edge mid-wait
+        if outgoing[dst] <= 1:
+            del outgoing[dst]
+            if not outgoing:
+                del self._edges[src]
+        else:
+            outgoing[dst] -= 1
+
+
+class SanitizerSuite:
+    """The installable bundle; product hooks call the ``note_*``/``wait_*``
+    methods below (see :mod:`repro.analysis.runtime` for the hook idiom)."""
+
+    def __init__(self, ownership: bool = True, clocks: bool = True, deadlock: bool = True):
+        self.ownership = OwnershipSanitizer() if ownership else None
+        self.clocks = ClockSanitizer() if clocks else None
+        self.waits = WaitGraph() if deadlock else None
+        self._sim = None
+        self.runs_observed = 0
+        self._totals: Dict[str, int] = {}
+
+    def _current_counters(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        if self.ownership is not None:
+            out["writes_checked"] = self.ownership.writes_checked
+            out["transfers_seen"] = self.ownership.transfers_seen
+            out["rejects_seen"] = self.ownership.rejects_seen
+        if self.clocks is not None:
+            out["clocks_checked"] = self.clocks.clocks_checked
+        if self.waits is not None:
+            out["wait_edges_added"] = self.waits.edges_added
+            out["wait_edges_peak"] = self.waits.max_outstanding
+        return out
+
+    def bind(self, sim) -> None:
+        """Reset all detectors when a different simulator shows up."""
+        if sim is not self._sim:
+            for key, value in self._current_counters().items():
+                if key.endswith("_peak"):
+                    self._totals[key] = max(self._totals.get(key, 0), value)
+                else:
+                    self._totals[key] = self._totals.get(key, 0) + value
+            self._sim = sim
+            self.runs_observed += 1
+            for detector in (self.ownership, self.clocks, self.waits):
+                if detector is not None:
+                    detector.reset()
+
+    # ------------------------------------------------------------------
+    # store-side hooks
+    # ------------------------------------------------------------------
+
+    def note_store_apply(self, sim, key: str, instance: str) -> None:
+        if self.ownership is not None:
+            self.bind(sim)
+            self.ownership.note_apply(key, instance)
+
+    def note_store_reject(self, sim, key: str, instance: str, owner: Optional[str]) -> None:
+        if self.ownership is not None:
+            self.bind(sim)
+            self.ownership.note_reject(key, instance, owner)
+
+    def note_store_transfer(self, sim, key: str, new_owner: Optional[str], kind: str) -> None:
+        if self.ownership is not None:
+            self.bind(sim)
+            self.ownership.note_transfer(key, new_owner, kind)
+
+    def note_store_clone(self, sim, original: str, clone: str, register: bool) -> None:
+        if self.ownership is not None:
+            self.bind(sim)
+            self.ownership.note_clone(original, clone, register)
+
+    # ------------------------------------------------------------------
+    # clock hook
+    # ------------------------------------------------------------------
+
+    def note_clock_issue(self, sim, root_id: int, clock: int, issuer: str) -> None:
+        if self.clocks is not None:
+            self.bind(sim)
+            self.clocks.note_issue(root_id, clock, issuer)
+
+    # ------------------------------------------------------------------
+    # wait-graph hooks
+    # ------------------------------------------------------------------
+
+    def wait_edge(self, sim, src: str, dst: str) -> None:
+        if self.waits is not None:
+            self.bind(sim)
+            self.waits.add(src, dst)
+
+    def release_edge(self, src: str, dst: str) -> None:
+        if self.waits is not None:
+            self.waits.remove(src, dst)
+
+    # ------------------------------------------------------------------
+
+    def report(self) -> Dict[str, int]:
+        """Cumulative counters across every run this suite observed."""
+        out = dict(self._totals)
+        for key, value in self._current_counters().items():
+            if key.endswith("_peak"):
+                out[key] = max(out.get(key, 0), value)
+            else:
+                out[key] = out.get(key, 0) + value
+        out["runs_observed"] = self.runs_observed
+        return out

@@ -18,12 +18,11 @@ Two disciplines are reproduced, matching how §7.3 measures against them:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, List, Optional
+from typing import Generator
 
 from repro.baselines.traditional import TraditionalNFHarness
 from repro.core.nf_api import NetworkFunction
 from repro.simnet.engine import Channel, Event, Simulator
-from repro.simnet.monitor import LatencyRecorder
 from repro.traffic.packet import Packet
 
 CONTROLLER_LINK_US = 50.0     # NF <-> controller one-way (software SDN hop)

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 from typing import Callable, Generator, List, Optional
 
-from repro.core.nf_api import LocalStateAPI, NetworkFunction, Output
+from repro.core.nf_api import LocalStateAPI, NetworkFunction
 from repro.simnet.engine import Channel, Process, Simulator
 from repro.simnet.monitor import LatencyRecorder, ThroughputMeter
 from repro.simnet.nic import Nic

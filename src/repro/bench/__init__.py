@@ -9,11 +9,15 @@
   stdout and to ``benchmarks/results/``.
 """
 
-from repro.bench.calibration import MODELS, CalibratedParams, params_for_model
+from repro.bench.calibration import (
+    MODELS,
+    CalibratedParams,
+    bench_scale,
+    params_for_model,
+)
 from repro.bench.report import ResultTable, results_dir, write_result
 from repro.bench.scenarios import (
     SingleNfResult,
-    bench_scale,
     build_paper_chain,
     build_trojan_chain,
     run_single_nf,

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Tuple
+from typing import Callable, Optional
 
 from repro.baselines.traditional import TraditionalNFHarness
 from repro.bench.calibration import params_for_model
@@ -22,7 +22,6 @@ from repro.simnet.engine import Simulator
 from repro.simnet.monitor import LatencyRecorder
 from repro.traffic.trace import Trace
 from repro.traffic.workload import ReplaySource
-from repro.bench.calibration import bench_scale  # re-export convenience
 
 
 @dataclass

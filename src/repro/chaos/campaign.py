@@ -267,6 +267,7 @@ def run_scenario(
     seed: int,
     detection: Optional[DetectionModel] = None,
     reference: Optional[RunSnapshot] = None,
+    collect_runtime: Optional[Callable] = None,
 ) -> ScenarioOutcome:
     """Run one chaos run for ``spec`` under ``seed`` and check invariants.
 
@@ -274,6 +275,10 @@ def run_scenario(
     runtime-config) — the reference is seed-independent for this workload
     (injection times and identities are fixed; seeds only perturb the
     chaos run's failures and network randomness).
+
+    ``collect_runtime`` is called with the finished :class:`ChainRuntime`
+    before this function returns — the determinism checker digests the
+    whole event/egress stream from it.
     """
     if reference is None:
         reference = _reference_run(seed, spec)
@@ -293,6 +298,8 @@ def run_scenario(
     inject_workload(sim, runtime)
     sim.run(until=HORIZON_US)
 
+    if collect_runtime is not None:
+        collect_runtime(runtime)
     violations = check_invariants(
         runtime,
         reference=reference,

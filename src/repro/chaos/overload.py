@@ -25,7 +25,7 @@ goodput-vs-offered-load knee sweep in ``tools/overload_campaign.py``.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.chaos.campaign import EntryCounterNF, SinkCounterNF
 from repro.chaos.invariants import (
@@ -295,7 +295,10 @@ def check_overload_invariants(
 
 
 def run_overload_scenario(
-    spec: OverloadSpec, seed: int, autoscale: bool = False
+    spec: OverloadSpec,
+    seed: int,
+    autoscale: bool = False,
+    collect_runtime: Optional[Callable] = None,
 ) -> OverloadOutcome:
     sim = Simulator()
     runtime = build_overload_runtime(sim, seed, spec, autoscale)
@@ -324,6 +327,8 @@ def run_overload_scenario(
             )
     counters = _inject_phases(sim, runtime, spec)
     sim.run(until=spec.horizon_us)
+    if collect_runtime is not None:
+        collect_runtime(runtime)
 
     injected = counters["injected"]
     egressed = len({p for p, _ in egress_records(runtime) if p is not None})

@@ -29,6 +29,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
+from repro.analysis import runtime as _sanitize
 from repro.core.bitvector import TagRegistry
 from repro.core.clock import clock_root
 from repro.core.dag import LogicalChain
@@ -308,6 +309,8 @@ class ChainRuntime:
             never_drop=_is_control_item,
             # a bounded instance input pushes back on the NIC drain (BLOCK)
             deliver_wait=instance.input.space_event,
+            # deadlock-sanitizer nodes: this ring, and the rx loop it feeds
+            wait_labels=(f"nic:{instance_id}", f"rx:{instance_id}"),
         )
         self.filters[instance_id] = DuplicateFilter(
             instance_id, enabled=self.params.suppress_duplicates
@@ -531,7 +534,9 @@ class ChainRuntime:
             and self.params.nic_queue_limit is not None
         )
 
-    def _await_hop_space(self, vertex_name: str, packet: Packet) -> Generator:
+    def _await_hop_space(
+        self, vertex_name: str, packet: Packet, emitter_id: str = ""
+    ) -> Generator:
         """Park the emitting worker until the destination NIC(s) for this
         packet have ring space (hop-by-hop backpressure).
 
@@ -552,14 +557,21 @@ class ChainRuntime:
                 clone = splitter.replicate.get(primary)
                 if clone is not None:
                     targets.append(clone)
-            waits = [
-                self.nics[t].space_event()
-                for t in targets
-                if t in self.nics and not self.nics[t].has_space()
+            waiting = [
+                t for t in targets if t in self.nics and not self.nics[t].has_space()
             ]
-            if not waits:
+            if not waiting:
                 return
-            yield self.sim.all_of(waits)
+            suite = _sanitize.ACTIVE
+            if suite is not None:
+                for t in waiting:
+                    suite.wait_edge(self.sim, f"wkr:{emitter_id}", f"nic:{t}")
+            try:
+                yield self.sim.all_of([self.nics[t].space_event() for t in waiting])
+            finally:
+                if suite is not None:
+                    for t in waiting:
+                        suite.release_edge(f"wkr:{emitter_id}", f"nic:{t}")
 
     def _replicate(self, packet: Packet) -> Packet:
         copy = packet.copy()
@@ -665,7 +677,7 @@ class ChainRuntime:
                 # Hop-by-hop backpressure (§8): the emitting worker parks
                 # until the downstream ring has space, instead of letting
                 # the NIC tail-drop the copy.
-                yield from self._await_hop_space(dst_vertex, copy)
+                yield from self._await_hop_space(dst_vertex, copy, instance.instance_id)
                 if not instance._alive:
                     return
             self._deliver(dst_vertex, copy)

@@ -26,7 +26,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Generator, Optional
 
-from repro.core.instance import NFInstance
 from repro.core.recovery import replay_all_roots
 from repro.store.keys import StateKey
 from repro.store.protocol import CloneRegistration, TakeoverRequest

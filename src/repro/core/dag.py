@@ -8,7 +8,7 @@ vertex, a splitter after every instance — in
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
 from repro.core.nf_api import NetworkFunction

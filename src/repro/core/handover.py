@@ -21,7 +21,7 @@ store in upstream-splitter arrival order.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Generator, Iterable, List, Tuple
+from typing import Generator, Iterable, Tuple
 
 
 @dataclass

@@ -28,7 +28,8 @@ import random
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional, Set, Tuple
 
-from repro.core.nf_api import NetworkFunction, Output, StateAPI
+from repro.analysis import runtime as _sanitize
+from repro.core.nf_api import NetworkFunction, StateAPI
 from repro.core.splitter import MoveMarker
 from repro.simnet.engine import Channel, Process, Simulator
 from repro.simnet.monitor import LatencyRecorder, ThroughputMeter
@@ -300,7 +301,18 @@ class NFInstance:
                 # BLOCK policy: park until the worker drains one; packets
                 # meanwhile accumulate in the bounded input, whose fullness
                 # pushes back on the delivering NIC.
-                yield queue.space_event()
+                suite = _sanitize.ACTIVE
+                if suite is not None:
+                    suite.wait_edge(
+                        self.sim, f"rx:{self.instance_id}", f"wkr:{self.instance_id}"
+                    )
+                try:
+                    yield queue.space_event()
+                finally:
+                    if suite is not None:
+                        suite.release_edge(
+                            f"rx:{self.instance_id}", f"wkr:{self.instance_id}"
+                        )
                 if not self._alive:
                     return
 
@@ -400,11 +412,11 @@ class NFInstance:
 
     def _on_last_marker(self, marker: MoveMarker) -> Generator:
         """Old-instance side: barrier across workers, then flush & release."""
-        count = self._barrier_counts.get(id(marker), 0) + 1
-        self._barrier_counts[id(marker)] = count
+        count = self._barrier_counts.get(marker.marker_id, 0) + 1
+        self._barrier_counts[marker.marker_id] = count
         if count < self.n_workers:
             return
-        del self._barrier_counts[id(marker)]
+        del self._barrier_counts[marker.marker_id]
         if marker.old_instance != self.instance_id:
             return
         yield from self._flush_and_release(marker)

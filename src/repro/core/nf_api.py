@@ -19,7 +19,7 @@ evaluation apples-to-apples.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.store.operations import OperationFn, OperationRegistry, default_registry

@@ -28,7 +28,7 @@ from repro.util import fields_subset, stable_hash
 FIVE_TUPLE: Tuple[str, ...] = ("src_ip", "dst_ip", "src_port", "dst_port", "proto")
 
 
-_move_ids = iter(range(1, 1 << 62))
+_marker_ids = iter(range(1, 1 << 62))
 
 
 @dataclass(frozen=True)
@@ -38,7 +38,13 @@ class MoveMarker:
     One marker covers a whole *batch* of moved partition keys bound for
     the same (old, new) instance pair — reallocation of thousands of flows
     is one metadata operation, not thousands (§7.3 R2). ``move_id`` is
-    unique per marker so repeated moves of the same keys never alias.
+    unique per vertex (all of its uses are vertex-scoped) so repeated
+    moves of the same keys never alias.
+
+    ``marker_id`` is a process-monotonic identity assigned at construction
+    and excluded from equality: barrier bookkeeping keys on it instead of
+    ``id(marker)``, whose value can be reused after the marker is GC'd and
+    silently merge two different barriers (chclint CHC004).
     """
 
     scope_keys: frozenset
@@ -46,6 +52,9 @@ class MoveMarker:
     old_instance: str
     new_instance: str
     move_id: int = 0
+    marker_id: int = field(
+        default_factory=lambda: next(_marker_ids), compare=False, repr=False
+    )
 
 
 class Splitter:
@@ -62,6 +71,12 @@ class Splitter:
             raise ValueError(f"splitter for {vertex_name!r} needs >= 1 instance")
         self.vertex_name = vertex_name
         self.instances: List[str] = list(instances)
+        # Per-splitter move-id allocation: move ids are only ever used
+        # vertex-scoped ((vertex, move_id) tuples, per-instance move sets,
+        # the vertex-prefixed move notify key), and the notify key is
+        # *hashed* for store shard/thread routing — a process-global
+        # counter would make same-seed runs route moves differently.
+        self._move_ids = iter(range(1, 1 << 62))
         # Hash-based default routing uses a *stable* member list: instances
         # added later (scale-up, clones) receive traffic only via explicit
         # overrides/moves, so existing flows never silently remap — CHC
@@ -212,7 +227,7 @@ class Splitter:
                 fields=self.partition_fields,
                 old_instance=old,
                 new_instance=new_instance,
-                move_id=next(_move_ids),
+                move_id=next(self._move_ids),
             )
             control = Packet(
                 five_tuple=FiveTuple("0.0.0.0", "0.0.0.0", 0, 0, 0),

@@ -87,7 +87,11 @@ class Supervisor:
         self._wake: Optional[Event] = None
         self._store_seq = 0
         self._in_progress = 0
-        self._handled: set = set()  # id() of components already enqueued
+        # Components already enqueued, held directly (identity semantics).
+        # Holding the objects — not id() — keeps a strong reference, so a
+        # GC'd component's reused address can never alias a new one
+        # (chclint CHC004).
+        self._handled: set = set()
         self._runner = self.sim.process(self._run(), name="supervisor")
 
     # ------------------------------------------------------------------
@@ -115,7 +119,7 @@ class Supervisor:
         if kind is None:
             self.timeline.record(self.sim.now, "detected", name, handled=False)
             return
-        if id(component) in self._handled:
+        if component in self._handled:
             return  # already enqueued (dependency discovery beat the detector)
         if kind == "nf" and self.runtime.instances.get(
             getattr(component, "instance_id", None)
@@ -123,10 +127,10 @@ class Supervisor:
             # Orderly retirement (autoscaler scale-in, §8), not a crash:
             # the instance was already removed from the runtime's routing
             # with its state handed back. Nothing to recover.
-            self._handled.add(id(component))
+            self._handled.add(component)
             self.timeline.record(self.sim.now, "retired", name, component_kind=kind)
             return
-        self._handled.add(id(component))
+        self._handled.add(component)
         # A plain FailureInjector notifies at the crash instant; a
         # ChaosDirector records "failed" itself and notifies later. Record
         # the crash here only if the detector didn't.
@@ -180,7 +184,7 @@ class Supervisor:
             dead += [store for store in self.runtime.stores if not store.alive]
         found = 0
         for component in dead:
-            if id(component) not in self._handled:
+            if component not in self._handled:
                 self.on_failure(component)
                 found += 1
         return found

@@ -16,7 +16,7 @@ action is CHC's concern).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Generator, List, Optional
 
 from repro.simnet.engine import Simulator

@@ -8,7 +8,7 @@ matches it (standard stateful-firewall behaviour).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, Optional, Tuple
 
 from repro.core.nf_api import NetworkFunction, Output, StateAPI
 from repro.store.spec import AccessPattern, Scope, StateObjectSpec
@@ -93,6 +93,6 @@ class Firewall(NetworkFunction):
                 # when no static rule matches it.
                 yield from state.update("conn_allowed", flow, "set", True)
             return [Output(packet)]
-        self.denied += 1
+        self.denied += 1  # chclint: disable=CHC005 — host-local diagnostic counter
         yield from state.update("denied_count", None, "incr", 1)
         return []

@@ -9,7 +9,7 @@ in the Figure 1 chain that edge is consumed by the off-path DPI.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, Generator, Tuple
 
 from repro.core.nf_api import NetworkFunction, Output, StateAPI
 from repro.store.spec import AccessPattern, Scope, StateObjectSpec

@@ -27,7 +27,7 @@ inbound packets.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, Tuple
 
 from repro.core.nf_api import NetworkFunction, Output, StateAPI
 from repro.store.spec import AccessPattern, Scope, StateObjectSpec
@@ -134,7 +134,7 @@ class Nat(NetworkFunction):
                 need_result=True,
             )
             if port is None:
-                self.ports_exhausted += 1
+                self.ports_exhausted += 1  # chclint: disable=CHC005 — host-local diagnostic counter
                 return []
             mapping = (self.external_ip, port)
             yield from state.update("port_map", flow, "set", mapping)

@@ -9,7 +9,7 @@ Appendix A pushes non-deterministic inputs into the store).
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, Generator
 
 from repro.core.nf_api import NetworkFunction, Output, StateAPI
 from repro.store.spec import AccessPattern, Scope, StateObjectSpec
@@ -61,6 +61,6 @@ class RateLimiter(NetworkFunction):
             "bucket", (host,), "rate_probe", packet.clock, self.limit, need_result=True
         )
         if not admitted:
-            self.dropped += 1
+            self.dropped += 1  # chclint: disable=CHC005 — host-local diagnostic counter
             return []
         return [Output(packet)]

@@ -10,7 +10,7 @@ experiment via the instance's ``extra_delay`` hook, not by the NF.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Tuple
+from typing import Dict, Generator, Tuple
 
 from repro.core.nf_api import NetworkFunction, Output, StateAPI
 from repro.store.spec import AccessPattern, Scope, StateObjectSpec

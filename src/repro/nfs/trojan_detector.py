@@ -19,7 +19,7 @@ cross-flow, write/read often, updated via a custom offloaded operation.
 
 from __future__ import annotations
 
-from typing import Dict, Generator, List, Optional, Tuple
+from typing import Dict, Generator, Optional
 
 from repro.core.nf_api import NetworkFunction, Output, StateAPI
 from repro.store.spec import AccessPattern, Scope, StateObjectSpec
@@ -70,7 +70,7 @@ class TrojanDetector(NetworkFunction):
         return kind if packet.is_syn else None
 
     def process(self, packet: Packet, state: StateAPI) -> Generator:
-        self._arrival_counter += 1
+        self._arrival_counter += 1  # chclint: disable=CHC005 — host-local diagnostic counter
         activity = self._activity_of(packet)
         if activity is None:
             return []  # off-path: no forwarding, nothing to record

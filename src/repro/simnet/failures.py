@@ -9,7 +9,7 @@ relevant recovery protocol.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Protocol, runtime_checkable
+from typing import Any, Callable, List, Protocol, runtime_checkable
 
 from repro.simnet.engine import Simulator
 

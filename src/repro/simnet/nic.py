@@ -19,6 +19,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Optional
 
+from repro.analysis import runtime as _sanitize
 from repro.simnet.engine import Channel, Event, Simulator
 
 GBPS_TO_BITS_PER_US = 1_000.0  # 1 Gbps == 1000 bits per microsecond
@@ -44,9 +45,13 @@ class Nic:
         on_drop: Optional[Callable[[Any], None]] = None,
         never_drop: Optional[Callable[[Any], bool]] = None,
         deliver_wait: Optional[Callable[[], Event]] = None,
+        wait_labels: Optional[tuple] = None,
     ):
         self.sim = sim
         self.name = name
+        # (this NIC's wait-graph node, its receiver's node) — used by the
+        # deadlock sanitizer when the drain parks on ``deliver_wait``.
+        self.wait_labels = wait_labels or (f"nic:{name}", f"rx:{name}")
         self.rate_bits_per_us = rate_gbps * GBPS_TO_BITS_PER_US
         self.deliver = deliver
         self.queue_limit = queue_limit
@@ -110,7 +115,14 @@ class Nic:
                 # receiver returns False to push back.
                 if accepted is False and self.deliver_wait is not None:
                     self.deliver_stalls += 1
-                    yield self.deliver_wait()
+                    suite = _sanitize.ACTIVE
+                    if suite is not None:
+                        suite.wait_edge(self.sim, *self.wait_labels)
+                    try:
+                        yield self.deliver_wait()
+                    finally:
+                        if suite is not None:
+                            suite.release_edge(*self.wait_labels)
                     if not self._alive:
                         return
                     continue

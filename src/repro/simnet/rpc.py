@@ -11,6 +11,7 @@ import itertools
 import random
 from typing import Any, Dict, Generator, Optional, Tuple
 
+from repro.analysis import runtime as _sanitize
 from repro.simnet.engine import Channel, Event, Simulator
 from repro.simnet.network import Envelope, Network
 from repro.util import stable_hash
@@ -205,11 +206,21 @@ class RpcEndpoint:
         for attempt in range(attempts):
             target = resolve() if resolve is not None else dst
             request_id, waiter = self._issue(target, payload)
-            if timeout_us is None:
-                value = yield waiter
-                return value
-            timer = self.sim.timeout(wait)
-            winner, value = yield self.sim.any_of([waiter, timer])
+            # Deadlock-sanitizer edge: this endpoint is parked on `target`.
+            # A timed wait is "soft" (a timeout breaks it), but a cycle of
+            # mutually-waiting callers is still worth naming early.
+            suite = _sanitize.ACTIVE
+            if suite is not None:
+                suite.wait_edge(self.sim, f"rpc:{self.name}", f"rpc:{target}")
+            try:
+                if timeout_us is None:
+                    value = yield waiter
+                    return value
+                timer = self.sim.timeout(wait)
+                winner, value = yield self.sim.any_of([waiter, timer])
+            finally:
+                if suite is not None:
+                    suite.release_edge(f"rpc:{self.name}", f"rpc:{target}")
             if winner is waiter:
                 return value
             # timed out: forget the stale waiter and retransmit

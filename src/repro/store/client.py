@@ -30,7 +30,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
-from repro.simnet.engine import Channel, Event, Simulator
+from repro.simnet.engine import Event, Simulator
 from repro.simnet.network import Network
 from repro.simnet.rpc import RpcEndpoint, RpcGaveUp
 from repro.store.breaker import CircuitBreaker

@@ -10,7 +10,7 @@ same routing.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.store.datastore import DatastoreInstance
 from repro.store.keys import parse_storage_key

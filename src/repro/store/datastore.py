@@ -27,6 +27,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Set, Tuple
 
+from repro.analysis import runtime as _sanitize
 from repro.simnet.engine import Channel, Process, Simulator
 from repro.util import stable_hash
 from repro.simnet.network import Network
@@ -267,6 +268,11 @@ class DatastoreInstance:
                 else:
                     if self._clones.get(payload.original) == payload.clone:
                         del self._clones[payload.original]
+                suite = _sanitize.ACTIVE
+                if suite is not None:
+                    suite.note_store_clone(
+                        self.sim, payload.original, payload.clone, payload.register
+                    )
                 self.endpoint.respond(request, True)
             elif isinstance(payload, TakeoverRequest):
                 self._thread_for(payload.new_instance).put((payload, request))
@@ -378,8 +384,11 @@ class DatastoreInstance:
         elif isinstance(payload, TakeoverRequest):
             owned = [k for k, v in self._owners.items() if v == payload.old_instance]
             yield self.sim.timeout(self.per_key_metadata_us * max(len(owned), 1))
+            suite = _sanitize.ACTIVE
             for key in owned:
                 self._owners[key] = payload.new_instance
+                if suite is not None:
+                    suite.note_store_transfer(self.sim, key, payload.new_instance, "takeover")
             self._clones.pop(payload.old_instance, None)
             mirror_ack = self._replicate(payload)
             if mirror_ack is not None:
@@ -398,11 +407,14 @@ class DatastoreInstance:
         """
         key = op.key
         owner = self._owners.get(key)
+        suite = _sanitize.ACTIVE
         if op.claim_owner and owner is None:
             # First write of a per-flow object: the metadata the client
             # appends to the key associates the instance (§4.3) — no
             # separate association round trip is needed.
             self._owners[key] = owner = op.instance
+            if suite is not None:
+                suite.note_store_transfer(self.sim, key, op.instance, "claim")
         if (
             owner is not None
             and op.instance
@@ -410,6 +422,8 @@ class DatastoreInstance:
             and self._clones.get(owner) != op.instance
         ):
             self.stats.rejected += 1
+            if suite is not None:
+                suite.note_store_reject(self.sim, key, op.instance, owner)
             return OpResult(value=None, ts=dict(self._ts.get(key, {})), emulated=False)
 
         if self.dedup_enabled and op.log_update and op.clock:
@@ -430,6 +444,10 @@ class DatastoreInstance:
                     state=copy.deepcopy(self._data.get(key)) if op.return_state else None,
                 )
 
+        if suite is not None:
+            # Applied (not emulated, not rejected) mutation: the ownership
+            # sanitizer checks the writer against the last one it saw.
+            suite.note_store_apply(self.sim, key, op.instance)
         current = self._data.get(key)
         new_value, return_value = self.registry.apply(op.op, current, op.args)
         self._data[key] = new_value
@@ -467,9 +485,14 @@ class DatastoreInstance:
 
     def _write(self, request: WriteRequest) -> bool:
         owner = self._owners.get(request.key)
+        suite = _sanitize.ACTIVE
         if owner is not None and request.instance and owner != request.instance:
             self.stats.rejected += 1
+            if suite is not None:
+                suite.note_store_reject(self.sim, request.key, request.instance, owner)
             return False
+        if suite is not None:
+            suite.note_store_apply(self.sim, request.key, request.instance)
         self._data[request.key] = request.value
         self.stats.writes += 1
         return True
@@ -509,10 +532,13 @@ class DatastoreInstance:
         instance learns the handover completed (Figure 4 step 6).
         """
         moved = 0
+        suite = _sanitize.ACTIVE
         for key in request.keys:
             if self._owners.get(key) in (request.old_instance, None):
                 self._owners[key] = request.new_instance
                 moved += 1
+                if suite is not None:
+                    suite.note_store_transfer(self.sim, key, request.new_instance, "bulk_move")
         if request.notify_key:
             for watcher in sorted(self._owner_watchers.get(request.notify_key, ())):
                 self.endpoint.send(
@@ -536,6 +562,9 @@ class DatastoreInstance:
         else:
             raise ValueError(f"bad owner action {request.action!r}")
         owner = self._owners.get(key)
+        suite = _sanitize.ACTIVE
+        if suite is not None:
+            suite.note_store_transfer(self.sim, key, owner, request.action)
         for watcher in sorted(self._owner_watchers.get(key, ())):
             self.endpoint.send(watcher, CallbackMessage(key=key, kind="owner", owner=owner))
             self.stats.callbacks_sent += 1

@@ -19,8 +19,8 @@ cross-flow            write/read often         cache only while the traffic spli
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from dataclasses import dataclass
+from typing import Tuple
 
 FIVE_TUPLE_FIELDS = ("src_ip", "dst_ip", "src_port", "dst_port", "proto")
 

@@ -12,8 +12,8 @@ Each NF instance locally logs, in strict issue order:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
 
 
 @dataclass(frozen=True)

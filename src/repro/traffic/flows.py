@@ -11,9 +11,9 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Iterator, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
-from repro.traffic.packet import ACK, FIN, FiveTuple, PROTO_TCP, PROTO_UDP, Packet, RST, SYN
+from repro.traffic.packet import ACK, FIN, FiveTuple, PROTO_UDP, Packet, RST, SYN
 
 HANDSHAKE_SIZE = 60        # bytes of a bare SYN / SYN-ACK / FIN / RST segment
 MIN_SEGMENT = 60

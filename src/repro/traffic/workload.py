@@ -8,7 +8,7 @@ the inter-arrival times that realise the requested load.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Iterable, List
 
 from repro.simnet.engine import Simulator
 from repro.traffic.packet import Packet

@@ -1,0 +1,9 @@
+"""CHC001 fixture: module-level / unseeded randomness."""
+
+import random
+
+jitter = random.random()
+
+
+def pick(items):
+    return random.choice(items)

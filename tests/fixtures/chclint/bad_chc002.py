@@ -1,0 +1,7 @@
+"""CHC002 fixture: wall-clock read in simulation code."""
+
+import time
+
+
+def stamp():
+    return time.time()

@@ -1,0 +1,6 @@
+"""CHC003 fixture: unsorted set iteration feeding emission."""
+
+
+def pump(channel, pending: set):
+    for item in pending:
+        channel.put(item)

@@ -1,0 +1,11 @@
+"""CHC004 fixture: id(obj) persisted as a dict key."""
+
+counts = {}
+
+
+def tally(marker):
+    counts[id(marker)] = counts.get(id(marker), 0) + 1
+
+
+def seen(marker):
+    return id(marker) in counts

@@ -1,0 +1,17 @@
+"""Clean fixture: the sanctioned idioms for everything chclint checks."""
+
+import random
+
+
+class Pump:
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+        self.pending: set = set()
+        self.counts = {}
+
+    def drain(self, channel):
+        for item in sorted(self.pending):
+            channel.put(item)
+
+    def tally(self, marker):
+        self.counts[marker.marker_id] = self.counts.get(marker.marker_id, 0) + 1

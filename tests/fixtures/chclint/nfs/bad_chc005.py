@@ -1,0 +1,14 @@
+"""CHC005 fixture: NF state writes bypassing the store API."""
+
+TOTAL = 0
+
+
+class Counter:
+    def __init__(self):
+        self.count = 0
+
+    def process(self, packet):
+        global TOTAL
+        TOTAL += 1
+        self.count += 1
+        return packet

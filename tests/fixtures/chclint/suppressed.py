@@ -1,0 +1,12 @@
+"""Fixture: every violation carries an inline suppression comment."""
+
+import time
+
+
+def stamp():
+    return time.time()  # chclint: disable=CHC002
+
+
+def pump(channel, pending: set):
+    for item in pending:  # chclint: disable=all
+        channel.put(item)

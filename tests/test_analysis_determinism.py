@@ -1,0 +1,49 @@
+"""Determinism-checker coverage (DESIGN.md §9.3).
+
+The digest pipeline is itself part of the trusted base: `_canon` must
+erase container-order noise without erasing real differences, and a
+scenario run twice under one seed must digest identically — that is the
+property the CI determinism-smoke job gates on.
+"""
+
+from repro.analysis.determinism import (
+    _canon,
+    chaos_digest,
+    check_determinism,
+    overload_digest,
+)
+
+
+class TestCanon:
+    def test_dict_insertion_order_is_erased(self):
+        assert _canon({"b": 1, "a": 2}) == _canon({"a": 2, "b": 1})
+
+    def test_set_iteration_order_is_erased(self):
+        assert _canon({3, 1, 2}) == _canon({2, 3, 1})
+
+    def test_value_differences_survive(self):
+        assert _canon({"a": 1}) != _canon({"a": 2})
+        assert _canon([1, 2]) != _canon([2, 1])  # list order is meaningful
+
+    def test_floats_canonicalise_by_repr(self):
+        assert _canon(0.1 + 0.2) == repr(0.1 + 0.2)
+
+
+class TestSameSeedDigests:
+    def test_chaos_run_digests_identically_per_seed(self):
+        assert chaos_digest("nf-crash", seed=3) == chaos_digest("nf-crash", seed=3)
+
+    def test_overload_run_digests_identically_per_seed(self):
+        assert overload_digest("overload-burst", seed=3) == overload_digest(
+            "overload-burst", seed=3
+        )
+
+    def test_check_determinism_report_shape(self):
+        report = check_determinism(seeds=[0], runs=2, chaos=["nf-crash"])
+        assert report["ok"] is True
+        assert report["mismatches"] == []
+        (case,) = report["cases"]
+        assert case["kind"] == "chaos"
+        assert case["scenario"] == "nf-crash"
+        assert len(case["digests"]) == 2
+        assert len(set(case["digests"])) == 1

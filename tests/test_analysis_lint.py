@@ -1,0 +1,149 @@
+"""chclint rule coverage: one bad fixture per rule, plus the clean floor.
+
+Fixtures live in ``tests/fixtures/chclint/``; each ``bad_chcNNN.py`` is a
+minimal violation of exactly that rule, ``good.py`` shows the sanctioned
+idioms, and ``suppressed.py`` carries inline ``chclint: disable``
+comments. The final test is the self-check the CI lint job enforces:
+``src/repro`` itself must be chclint-clean.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import lint
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "chclint"
+REPO_SRC = Path(__file__).resolve().parents[1] / "src" / "repro"
+
+
+def fixture_findings(name):
+    return lint.check_file(FIXTURES / name)
+
+
+class TestRules:
+    def test_chc001_module_level_randomness(self):
+        findings = fixture_findings("bad_chc001.py")
+        assert findings, "bad_chc001.py must produce findings"
+        assert {f.code for f in findings} == {"CHC001"}
+        lines = {f.line for f in findings}
+        assert 5 in lines  # random.random() at module level
+        assert 9 in lines  # random.choice() inside a function
+
+    def test_chc001_numpy_random_flagged_but_default_rng_allowed(self):
+        bad = lint.check_source(
+            "import numpy as np\nx = np.random.rand(3)\n", Path("mod.py")
+        )
+        assert any(f.code == "CHC001" for f in bad)
+        good = lint.check_source(
+            "import numpy as np\nrng = np.random.default_rng(7)\n", Path("mod.py")
+        )
+        assert good == []
+
+    def test_chc002_wall_clock(self):
+        findings = fixture_findings("bad_chc002.py")
+        assert [f.code for f in findings] == ["CHC002"]
+        assert findings[0].line == 7
+        assert "time.time()" in findings[0].message
+
+    def test_chc002_exempt_under_tools(self, tmp_path):
+        tools_dir = tmp_path / "tools"
+        tools_dir.mkdir()
+        bench = tools_dir / "bench.py"
+        bench.write_text("import time\n\nstart = time.time()\n")
+        assert lint.check_file(bench) == []
+
+    def test_chc003_set_iteration_feeding_emission(self):
+        findings = fixture_findings("bad_chc003.py")
+        assert [f.code for f in findings] == ["CHC003"]
+        assert findings[0].line == 5  # the `for` statement
+        assert "sorted" in findings[0].message
+
+    def test_chc003_dict_values_iteration(self):
+        source = (
+            "def flush(queues, item):\n"
+            "    for q in queues.values():\n"
+            "        q.send(item)\n"
+        )
+        findings = lint.check_source(source, Path("mod.py"))
+        assert [f.code for f in findings] == ["CHC003"]
+
+    def test_chc003_sorted_iteration_is_clean(self):
+        source = (
+            "def flush(queues, item):\n"
+            "    for q in sorted(queues.values()):\n"
+            "        q.send(item)\n"
+        )
+        assert lint.check_source(source, Path("mod.py")) == []
+
+    def test_chc004_id_as_persisted_key(self):
+        findings = fixture_findings("bad_chc004.py")
+        codes = [f.code for f in findings]
+        assert codes and set(codes) == {"CHC004"}
+        # subscript write, .get() lookup, and membership test all flagged
+        assert len(findings) >= 3
+
+    def test_chc005_nf_state_outside_store_api(self):
+        findings = fixture_findings(Path("nfs") / "bad_chc005.py")
+        codes = [f.code for f in findings]
+        assert codes and set(codes) == {"CHC005"}
+        messages = " ".join(f.message for f in findings)
+        assert "self.count" in messages  # attribute write outside __init__
+        assert "global" in messages  # module-global mutation
+
+    def test_chc005_inactive_outside_nfs_dirs(self):
+        source = (
+            "class C:\n"
+            "    def tick(self):\n"
+            "        self.count = 1\n"
+        )
+        assert lint.check_source(source, Path("core/mod.py")) == []
+
+
+class TestMechanics:
+    def test_good_fixture_is_clean(self):
+        assert fixture_findings("good.py") == []
+
+    def test_inline_suppressions(self):
+        assert fixture_findings("suppressed.py") == []
+
+    def test_select_filters_rules(self):
+        findings = lint.run_paths([FIXTURES], select={"CHC002"})
+        assert findings and all(f.code == "CHC002" for f in findings)
+
+    def test_findings_carry_file_and_line(self):
+        findings = lint.run_paths([FIXTURES / "bad_chc001.py"])
+        rendered = findings[0].format()
+        assert "bad_chc001.py:5:" in rendered
+        assert "CHC001" in rendered
+
+    def test_syntax_error_reports_chc000_and_exit_2(self, tmp_path, capsys):
+        broken = tmp_path / "broken.py"
+        broken.write_text("def oops(:\n")
+        assert lint.main([str(broken)]) == 2
+        assert "CHC000" in capsys.readouterr().out
+
+    def test_cli_exit_codes(self, capsys):
+        assert lint.main([str(FIXTURES / "good.py")]) == 0
+        assert lint.main([str(FIXTURES / "bad_chc002.py")]) == 1
+        out = capsys.readouterr().out
+        assert "CHC002" in out
+
+    def test_cli_json_report(self, capsys):
+        assert lint.main([str(FIXTURES / "bad_chc003.py"), "--json"]) == 1
+        report = json.loads(capsys.readouterr().out)
+        assert report["tool"] == "chclint"
+        assert report["count"] == 1
+        assert report["findings"][0]["code"] == "CHC003"
+        assert report["findings"][0]["line"] == 5
+
+    def test_unknown_select_code_rejected(self):
+        with pytest.raises(SystemExit):
+            lint.main([str(FIXTURES / "good.py"), "--select", "CHC999"])
+
+
+def test_repo_source_is_chclint_clean():
+    """The CI lint gate: the repo's own source has zero findings."""
+    findings = lint.run_paths([REPO_SRC])
+    assert findings == [], "\n".join(f.format() for f in findings)

@@ -11,7 +11,6 @@ from repro.baselines.opennf import (
 from repro.baselines.statelessnf import LockingStateAPI, StatelessNfHarness
 from repro.baselines.traditional import TraditionalChain, TraditionalNFHarness
 from repro.nfs import Nat
-from repro.simnet.engine import Simulator
 from repro.traffic.trace import make_trace2
 from repro.traffic.workload import ReplaySource
 from tests.conftest import make_packet

@@ -10,7 +10,6 @@ arrival order it misses some.
 
 import random
 
-import pytest
 
 from repro.bench.scenarios import build_trojan_chain
 from repro.simnet.engine import Simulator

@@ -1,6 +1,5 @@
 """Integration tests for the chain runtime: routing, accounting, egress."""
 
-import pytest
 
 from repro.core.chain_runtime import ChainRuntime, RuntimeParams
 from repro.core.dag import LogicalChain

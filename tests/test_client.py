@@ -1,9 +1,7 @@
 """Unit tests for the client-side library (Table 1 strategies, §4.3)."""
 
-import pytest
 
 from repro.simnet.network import Link
-from repro.store.spec import CacheStrategy
 
 
 def drive(sim, generator):

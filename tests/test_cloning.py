@@ -5,7 +5,6 @@ what the chain computes — no duplicate state updates, no duplicate
 outputs downstream, regardless of which instance is retained.
 """
 
-import pytest
 
 from repro.core.chain_runtime import ChainRuntime, RuntimeParams
 from repro.core.cloning import CloneController

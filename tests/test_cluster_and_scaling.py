@@ -15,7 +15,6 @@ from repro.core.vertex_manager import (
     default_scaling_logic,
     default_straggler_logic,
 )
-from repro.simnet.engine import Simulator
 from repro.simnet.network import Link, Network
 from repro.store.cluster import StoreCluster
 from repro.store.datastore import DatastoreInstance

@@ -8,7 +8,6 @@ its state cannot recover (the paper's stated limitation, addressed only
 by store replication).
 """
 
-import pytest
 
 from repro.core.chain_runtime import ChainRuntime, RuntimeParams
 from repro.core.dag import LogicalChain

@@ -4,7 +4,6 @@ import pytest
 
 from repro.simnet.engine import (
     Channel,
-    Event,
     Interrupt,
     ProcessKilled,
     SimulationError,

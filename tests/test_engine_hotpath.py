@@ -18,7 +18,7 @@ import heapq
 
 import pytest
 
-from repro.simnet.engine import AnyOf, Channel, Event, SimulationError, Simulator
+from repro.simnet.engine import AnyOf, Channel, Event, SimulationError
 from repro.simnet.monitor import channel_depth_peaks, engine_counters
 from repro.simnet.network import Link, Network
 from repro.simnet.rpc import RpcEndpoint, RpcTimeout

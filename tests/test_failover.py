@@ -6,7 +6,6 @@ as under no failure. The tests run the identical workload twice — once
 clean, once with a mid-run crash and failover — and compare final state.
 """
 
-import pytest
 
 from repro.core.chain_runtime import ChainRuntime, RuntimeParams
 from repro.core.dag import LogicalChain

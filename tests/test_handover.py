@@ -14,7 +14,7 @@ from repro.core.handover import move_flows
 from repro.core.nf_api import NetworkFunction, Output
 from repro.store.keys import StateKey
 from repro.store.spec import AccessPattern, Scope, StateObjectSpec
-from repro.traffic.packet import FiveTuple, Packet
+from repro.traffic.packet import FiveTuple
 from tests.conftest import make_packet
 
 

@@ -1,6 +1,5 @@
 """Unit tests for state keys and the Table 1 strategy matrix."""
 
-import pytest
 
 from repro.store.keys import StateKey, parse_storage_key
 from repro.store.spec import AccessPattern, CacheStrategy, Scope, StateObjectSpec

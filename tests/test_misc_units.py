@@ -5,11 +5,10 @@ import os
 
 import pytest
 
-from repro.bench.calibration import MODELS, bench_scale, params_for_model
+from repro.bench.calibration import bench_scale, params_for_model
 from repro.bench.report import ResultTable, fmt_gbps, fmt_us, write_result
 from repro.core.chain_runtime import ChainRuntime
 from repro.core.dag import LogicalChain
-from repro.simnet.engine import Simulator
 from repro.simnet.failures import FailureInjector
 from repro.store.cluster import StoreCluster
 from repro.store.datastore import DatastoreInstance

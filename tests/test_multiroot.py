@@ -1,12 +1,10 @@
 """Multi-root deployments (§4.1, §5): R roots, clock root-ID encoding."""
 
-import pytest
 
 from repro.core.chain_runtime import ChainRuntime
 from repro.core.clock import clock_root
 from repro.core.dag import LogicalChain
 from repro.core.recovery import fail_over_nf, fail_over_root
-from repro.simnet.engine import Simulator
 from repro.store.keys import StateKey
 from tests.conftest import make_packet
 from tests.test_cloning import SinkCounterNF, SlowCounterNF

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.simnet.engine import Simulator
 from repro.simnet.network import Link, Network
 from repro.simnet.rpc import RpcEndpoint, RpcTimeout
 

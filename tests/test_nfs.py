@@ -21,7 +21,6 @@ from repro.nfs import (
     TrojanDetector,
 )
 from repro.traffic.packet import ACK, FIN, FiveTuple, PROTO_UDP, Packet, RST, SYN
-from tests.conftest import make_packet
 
 
 def run_nf(nf, packets, state=None):

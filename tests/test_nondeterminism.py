@@ -7,7 +7,6 @@ randomness with datastore-computed values keyed by the packet's logical
 clock: a second request with the same clock returns the same value.
 """
 
-import pytest
 
 from repro.core.chain_runtime import ChainRuntime
 from repro.core.dag import LogicalChain

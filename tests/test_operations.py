@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.store.operations import OperationRegistry, UnknownOperation, default_registry
+from repro.store.operations import UnknownOperation, default_registry
 
 
 @pytest.fixture

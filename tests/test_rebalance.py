@@ -1,13 +1,10 @@
 """Scope-aware partitioning walk (§4.1) with loss-free refinement."""
 
-import pytest
 
 from repro.core.chain_runtime import ChainRuntime
 from repro.core.dag import LogicalChain
 from repro.core.splitter import FIVE_TUPLE
 from repro.nfs import Dpi
-from repro.simnet.engine import Simulator
-from repro.store.keys import StateKey
 from tests.conftest import make_packet
 from tests.test_handover import FlowCounterNF, flow_packet
 

@@ -1,6 +1,5 @@
 """Datastore recovery tests, including the paper's Figure 7 worked example."""
 
-import pytest
 
 from repro.simnet.network import Network, Link
 from repro.store.cluster import StoreCluster
@@ -13,7 +12,7 @@ from repro.store.store_recovery import (
     recover_store_instance,
     select_ts,
 )
-from repro.store.wal import ReadLogEntry, WriteAheadLog
+from repro.store.wal import WriteAheadLog
 
 KEY = "v\x1fshared\x1f"
 

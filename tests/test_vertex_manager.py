@@ -2,7 +2,6 @@
 
 import random
 
-import pytest
 
 from repro.core.chain_runtime import ChainRuntime
 from repro.core.cloning import CloneController
@@ -13,7 +12,6 @@ from repro.core.vertex_manager import (
     default_scaling_logic,
     default_straggler_logic,
 )
-from repro.simnet.engine import Simulator
 from tests.conftest import make_packet
 from tests.test_cloning import SlowCounterNF
 

@@ -83,6 +83,12 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress per-run progress"
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run with the runtime sanitizer suite installed (ownership races,"
+        " clock monotonicity, backpressure deadlock cycles raise loudly)",
+    )
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be >= 1")
@@ -100,12 +106,25 @@ def main(argv=None) -> int:
         print(f"  {outcome.scenario:<16} seed={outcome.seed:<3} {mark}", flush=True)
 
     t0 = time.time()
-    report = run_campaign(
-        range(args.seeds),
-        scenario_names=args.scenarios,
-        detection=detection,
-        progress=progress,
-    )
+    sanitizer_report = None
+    if args.sanitize:
+        from repro.analysis.runtime import sanitized
+
+        with sanitized() as suite:
+            report = run_campaign(
+                range(args.seeds),
+                scenario_names=args.scenarios,
+                detection=detection,
+                progress=progress,
+            )
+            sanitizer_report = suite.report()
+    else:
+        report = run_campaign(
+            range(args.seeds),
+            scenario_names=args.scenarios,
+            detection=detection,
+            progress=progress,
+        )
     wall_s = time.time() - t0
 
     payload = report.as_dict()
@@ -119,6 +138,8 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "platform": platform.platform(),
     }
+    if sanitizer_report is not None:
+        payload["meta"]["sanitizers"] = sanitizer_report
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")

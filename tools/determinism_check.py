@@ -1,0 +1,130 @@
+#!/usr/bin/env python
+"""Same-seed double-run determinism gate (``BENCH_determinism.json``).
+
+Runs each selected chaos/overload scenario ``--runs`` times under each
+seed, digests the full observable stream of every run (ordered egress,
+drop ledger, per-component stats, engine counters — see
+``repro.analysis.determinism``), and fails if any same-seed digests
+disagree. This is the direct guard for the trustworthiness of every
+BENCH_* number and campaign verdict: a stray ``set`` iteration order, a
+wall-clock read, or a process-global counter leaking into routing all
+show up here as a digest mismatch.
+
+Usage::
+
+    python tools/determinism_check.py                    # defaults
+    python tools/determinism_check.py --seeds 2 --runs 2 \
+        --chaos nf-crash --overload overload-burst       # CI smoke
+    python tools/determinism_check.py --chaos lossy-link --sanitize
+
+Exit status is non-zero on any digest mismatch.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+
+def render(report: dict) -> str:
+    lines = [
+        "determinism check (digest = sha256 of the run's observable stream)",
+        f"{'scenario':<26} {'seed':>5} {'runs':>5} {'verdict':>9}  digest",
+    ]
+    for case in report["cases"]:
+        verdict = "ok" if case["ok"] else "MISMATCH"
+        shown = (
+            case["digests"][0][:16]
+            if case["ok"]
+            else " / ".join(d[:8] for d in case["digests"])
+        )
+        lines.append(
+            f"{case['kind'] + ':' + case['scenario']:<26} {case['seed']:>5} "
+            f"{len(case['digests']):>5} {verdict:>9}  {shown}"
+        )
+    for scenario, sensitive in sorted(report["seed_sensitivity"].items()):
+        if not sensitive:
+            lines.append(
+                f"note: {scenario} digests are identical across seeds "
+                "(scripted scenario — expected when no seeded randomness is used)"
+            )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    from repro.analysis.determinism import check_determinism
+
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--seeds", type=int, default=2, help="number of seeds")
+    parser.add_argument("--runs", type=int, default=2, help="runs per seed")
+    parser.add_argument(
+        "--chaos",
+        nargs="*",
+        default=["nf-crash"],
+        help="chaos scenarios to double-run (default: nf-crash)",
+    )
+    parser.add_argument(
+        "--overload",
+        nargs="*",
+        default=["overload-burst"],
+        help="overload scenarios to double-run (default: overload-burst)",
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run with the runtime sanitizer suite installed",
+    )
+    parser.add_argument("-o", "--output", default="BENCH_determinism.json")
+    args = parser.parse_args(argv)
+
+    started = time.time()
+    seeds = list(range(args.seeds))
+
+    def progress(case: dict) -> None:
+        verdict = "ok" if case["ok"] else "MISMATCH"
+        print(
+            f"  {case['kind']}:{case['scenario']} seed={case['seed']} {verdict}",
+            flush=True,
+        )
+
+    report = check_determinism(
+        seeds=seeds,
+        runs=args.runs,
+        chaos=args.chaos,
+        overload=args.overload,
+        sanitize=args.sanitize,
+        progress=progress,
+    )
+    payload = {
+        "bench": "determinism",
+        "config": {
+            "seeds": seeds,
+            "runs": args.runs,
+            "chaos": args.chaos,
+            "overload": args.overload,
+            "sanitize": args.sanitize,
+        },
+        "host": {"python": platform.python_version(), "machine": platform.machine()},
+        "wall_s": round(time.time() - started, 2),
+        "report": report,
+    }
+    with open(args.output, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    print(render(report))
+    print(f"wrote {args.output} ({payload['wall_s']}s)")
+    if not report["ok"]:
+        print(f"FAIL: {len(report['mismatches'])} same-seed digest mismatch(es)")
+        return 1
+    print("all same-seed digests agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

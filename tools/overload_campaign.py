@@ -97,9 +97,23 @@ def main(argv=None) -> int:
     parser.add_argument(
         "-q", "--quiet", action="store_true", help="suppress per-run progress"
     )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run with the runtime sanitizer suite installed (ownership races,"
+        " clock monotonicity, backpressure deadlock cycles raise loudly)",
+    )
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be >= 1")
+
+    sanitizer_cm = None
+    sanitizer_suite = None
+    if args.sanitize:
+        from repro.analysis.runtime import sanitized
+
+        sanitizer_cm = sanitized()
+        sanitizer_suite = sanitizer_cm.__enter__()
 
     names = args.scenarios or sorted(OVERLOAD_SCENARIOS)
     t0 = time.time()
@@ -134,6 +148,10 @@ def main(argv=None) -> int:
                         flush=True,
                     )
     wall_s = time.time() - t0
+    sanitizer_report = None
+    if sanitizer_cm is not None:
+        sanitizer_report = sanitizer_suite.report()
+        sanitizer_cm.__exit__(None, None, None)
 
     def _mean(values):
         values = [v for v in values if v is not None]
@@ -199,6 +217,8 @@ def main(argv=None) -> int:
             "platform": platform.platform(),
         },
     }
+    if sanitizer_report is not None:
+        payload["meta"]["sanitizers"] = sanitizer_report
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
