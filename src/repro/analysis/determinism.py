@@ -76,6 +76,214 @@ def runtime_digest(runtime) -> str:
     return hashlib.sha256(repr(record).encode("utf-8")).hexdigest()
 
 
+# --- fast-path equivalence (DESIGN.md §10) ------------------------------
+#
+# The batched fast path re-times everything (one generator resume per
+# batch, lumped proc-time debt), so ``runtime_digest`` — which folds in
+# sojourn times and engine counters — legitimately differs between
+# batching on and off. What the fast path *does* promise (its equivalence
+# contract) is byte-identical egress content and per-flow order, plus
+# identical per-flow state. The helpers below digest exactly that surface
+# so the contract is checkable per seed.
+
+# Value-compared: the final value is a function of that flow's own packet
+# sequence only, so batching must reproduce it byte-for-byte.
+_PER_FLOW_TABLES = ("conn_allowed", "bucket", "hits")
+# Key-compared: per-flow *bindings* drawn from a cross-flow allocator
+# (NAT ports, LB backends). Which value a flow drew depends on the
+# cross-flow interleaving of allocations — batching may legally pick a
+# different (equally valid) serialization — but the *set of flows bound*
+# must be identical.
+_ALLOCATION_TABLES = ("port_map", "conn_map")
+
+
+def flow_egress_digest(runtime) -> str:
+    """SHA-256 over per-flow egress content and order (not global timing).
+
+    For each canonical flow key, the ordered sequence of its egress
+    packets' observable bytes: payload, directed five-tuple, size, flags,
+    clock. Global interleaving across flows, sojourn times, and engine
+    event counts are deliberately excluded — the fast path does not
+    promise those.
+    """
+    flows: Dict[Any, List[Any]] = {}
+    for _vertex, packet in runtime.egress._items:
+        key = packet.five_tuple.canonical().key()
+        flows.setdefault(key, []).append(
+            (
+                packet.payload,
+                packet.five_tuple.key(),
+                packet.size_bytes,
+                packet.flags,
+                packet.clock,
+            )
+        )
+    record = tuple(sorted((repr(_canon(k)), _canon(v)) for k, v in flows.items()))
+    return hashlib.sha256(repr(record).encode("utf-8")).hexdigest()
+
+
+def per_flow_state(runtime) -> Dict[str, Any]:
+    """The comparable per-flow state surface of a finished run.
+
+    Flow-deterministic tables contribute ``key: value``; allocation-backed
+    bindings contribute ``key: "<bound>"`` (presence, not value — see
+    ``_ALLOCATION_TABLES``). Pure cross-flow state (``available_ports``,
+    ``server_conns``, counters) is excluded entirely.
+    """
+    from repro.chaos.invariants import chain_state
+
+    surface: Dict[str, Any] = {}
+    for key, value in chain_state(runtime).items():
+        if any(table in key for table in _PER_FLOW_TABLES):
+            surface[key] = value
+        elif any(table in key for table in _ALLOCATION_TABLES):
+            surface[key] = "<bound>" if value is not None else None
+    return surface
+
+
+def _declarative_chain():
+    """The standard all-declarative 4-NF chain used by equivalence runs."""
+    from repro.core.dag import LogicalChain
+    from repro.nfs.firewall import Firewall
+    from repro.nfs.load_balancer import LoadBalancer
+    from repro.nfs.nat import Nat
+    from repro.nfs.rate_limiter import RateLimiter
+
+    chain = LogicalChain("fp-equiv")
+    chain.add_vertex("firewall", Firewall, entry=True)
+    chain.add_vertex("nat", Nat)
+    chain.add_vertex("ratelimiter", RateLimiter)
+    chain.add_vertex("lb", LoadBalancer)
+    chain.add_edge("firewall", "nat")
+    chain.add_edge("nat", "ratelimiter")
+    chain.add_edge("ratelimiter", "lb")
+    return chain
+
+
+def seeded_workload(seed: int, packets: int, flows: int) -> List[Any]:
+    """Deterministic packet list: seeded flow interleaving, SYN-led flows,
+    occasional FINs — exercises every branch of the four declarative NFs."""
+    import random
+
+    from repro.traffic.packet import ACK, FIN, SYN, FiveTuple, Packet
+
+    rng = random.Random(seed)
+    started = [False] * flows
+    seq = [0] * flows
+    out: List[Any] = []
+    for _ in range(packets):
+        f = rng.randrange(flows)
+        ft = FiveTuple(
+            f"10.0.{f % 4}.{1 + f}",
+            f"52.0.0.{1 + (f % 5)}",
+            5000 + f,
+            80,
+            6,
+        )
+        if not started[f]:
+            flags = SYN
+            started[f] = True
+        elif rng.random() < 0.02:
+            flags = FIN | ACK
+        else:
+            flags = ACK
+        out.append(Packet(ft, flags=flags, payload=f"f{f}-{seq[f]}"))
+        seq[f] += 1
+    return out
+
+
+def run_equivalence_once(
+    seed: int,
+    fastpath: bool,
+    packets: int = 400,
+    flows: int = 12,
+    batch: int = 16,
+    gap_us: float = 0.8,
+    fault: Optional[Any] = None,
+    horizon_us: float = 10_000_000.0,
+):
+    """One seeded run of the declarative chain; returns the runtime.
+
+    ``fault``, if given, is called as ``fault(sim, runtime)`` after setup
+    so tests can schedule mid-run handovers or NF crashes.
+    """
+    from repro.core.chain_runtime import ChainRuntime, RuntimeParams
+    from repro.simnet.engine import Simulator
+
+    sim = Simulator()
+    params = RuntimeParams(fastpath_enabled=fastpath, fastpath_batch=batch)
+    runtime = ChainRuntime(sim, _declarative_chain(), params=params)
+    workload = seeded_workload(seed, packets, flows)
+
+    def source():
+        for packet in workload:
+            runtime.inject(packet)
+            yield sim.timeout(gap_us)
+
+    sim.process(source())
+    if fault is not None:
+        fault(sim, runtime)
+    sim.run(until=horizon_us)
+    return runtime
+
+
+def check_fastpath_equivalence(
+    seeds: Sequence[int],
+    packets: int = 400,
+    flows: int = 12,
+    batch: int = 16,
+    progress: Optional[Any] = None,
+) -> Dict[str, Any]:
+    """Run batching off/on per seed; compare the equivalence surface.
+
+    A case passes when per-flow egress digests match, per-flow state
+    matches, and the batched run actually took the fast path for at
+    least one packet (otherwise the check is vacuous).
+    """
+    cases: List[Dict[str, Any]] = []
+    for seed in seeds:
+        off = run_equivalence_once(seed, False, packets, flows, batch)
+        on = run_equivalence_once(seed, True, packets, flows, batch)
+        fast_hits = sum(
+            instance._fastpath.stats_fast
+            for instance in on.instances.values()
+            if instance._fastpath is not None
+        )
+        egress_off = flow_egress_digest(off)
+        egress_on = flow_egress_digest(on)
+        state_off = per_flow_state(off)
+        state_on = per_flow_state(on)
+        case = {
+            "seed": seed,
+            "egress_off": egress_off,
+            "egress_on": egress_on,
+            "egress_match": egress_off == egress_on,
+            "state_match": state_off == state_on,
+            "state_diff": sorted(
+                key
+                for key in set(state_off) | set(state_on)
+                if state_off.get(key) != state_on.get(key)
+            )[:8],
+            "fast_hits": fast_hits,
+            "egress_packets": on.egress_meter.packets,
+            "ok": egress_off == egress_on
+            and state_off == state_on
+            and fast_hits > 0,
+        }
+        cases.append(case)
+        if progress is not None:
+            progress(case)
+    return {
+        "packets": packets,
+        "flows": flows,
+        "batch": batch,
+        "seeds": list(seeds),
+        "cases": cases,
+        "mismatches": [case for case in cases if not case["ok"]],
+        "ok": all(case["ok"] for case in cases),
+    }
+
+
 def chaos_digest(scenario: str, seed: int, sanitize: bool = False) -> str:
     """Digest one chaos-campaign run of ``scenario`` under ``seed``."""
     from repro.analysis.runtime import sanitized

@@ -30,6 +30,14 @@ CHC005 NF code (``repro/nfs/``) writing state outside the store API:
        statements, or reaching into store internals (``_data``,
        ``_cache``, ``_owners``). Per-flow/shared state must go through
        the scope API or it is invisible to handover and recovery.
+CHC006 Declarative NF (``repro/nfs/``) breaking its match-action
+       contract: ``fast_action`` touching a state object not listed in
+       ``match_action_form()``'s ``tables``, a non-literal table name
+       (not statically checkable), or ``fast_match`` touching state at
+       all. The fused fast path (DESIGN.md §10) plans shared lookups
+       and cache bracketing from the declared table set, so an
+       undeclared access would execute against unjournaled state and
+       slip past the batching on/off equivalence guarantee.
 ====== =================================================================
 
 Suppression: append ``# chclint: disable=CHC003`` (comma-separate for
@@ -59,6 +67,7 @@ ALL_RULES: Dict[str, str] = {
     "CHC003": "unsorted set/dict.values() iteration feeding scheduling or emission",
     "CHC004": "id(obj) used as a persisted key",
     "CHC005": "NF state write bypassing the store API",
+    "CHC006": "declarative NF touching state outside its declared match-action tables",
 }
 
 #: Path fragments whose files may read the wall clock (CHC002 exempt):
@@ -153,6 +162,7 @@ def _exempt_codes(path: Path) -> Set[str]:
         exempt.add("CHC002")
     if "nfs" not in parts:
         exempt.add("CHC005")
+        exempt.add("CHC006")
     return exempt
 
 
@@ -561,6 +571,111 @@ class _Checker(ast.NodeVisitor):
                 "NF mutates module globals — state must go through the store "
                 "scope API or it is invisible to handover and recovery",
             )
+        self.generic_visit(node)
+
+    # ------------------------------------------------------------------
+    # CHC006: declarative fast path confined to declared tables
+    # (only active under repro/nfs/)
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _declared_tables(cls: ast.ClassDef) -> Optional[Set[str]]:
+        """The ``tables=(...)`` literal of the class's MatchActionForm,
+        or None when the class declares no form / no checkable literal."""
+        for item in cls.body:
+            if not (isinstance(item, ast.FunctionDef) and item.name == "match_action_form"):
+                continue
+            for node in ast.walk(item):
+                if not (isinstance(node, ast.Call) and _call_name(node) == "MatchActionForm"):
+                    continue
+                tables_arg: Optional[ast.AST] = node.args[0] if node.args else None
+                for keyword in node.keywords:
+                    if keyword.arg == "tables":
+                        tables_arg = keyword.value
+                if isinstance(tables_arg, (ast.Tuple, ast.List)) and all(
+                    isinstance(el, ast.Constant) and isinstance(el.value, str)
+                    for el in tables_arg.elts
+                ):
+                    return {el.value for el in tables_arg.elts}
+        return None
+
+    #: FastState accessors whose first argument names a state object.
+    FAST_STATE_METHODS = {"get", "read", "update", "delete"}
+
+    def _check_chc006(self, cls: ast.ClassDef) -> None:
+        if "CHC006" in self.disabled:
+            return
+        declared = self._declared_tables(cls)
+        for item in cls.body:
+            if not isinstance(item, ast.FunctionDef):
+                continue
+            if item.name == "fast_match":
+                self._chc006_match_is_pure(item)
+            elif item.name == "fast_action" and declared is not None:
+                self._chc006_action_tables(item, declared)
+
+    def _state_param(self, fn: ast.FunctionDef) -> Optional[str]:
+        # fast_action(self, packet, state) — the FastState is the third arg
+        args = fn.args.args
+        return args[2].arg if len(args) >= 3 else None
+
+    def _chc006_match_is_pure(self, fn: ast.FunctionDef) -> None:
+        # fast_match(self, packet): any extra arg would be state — and the
+        # contract says match is a pure header predicate
+        state_names = {arg.arg for arg in fn.args.args[2:]}
+        for node in ast.walk(fn):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and (
+                    node.func.value.id in state_names
+                    or (node.func.value.id == "state")
+                )
+            ):
+                self.report(
+                    node,
+                    "CHC006",
+                    "fast_match must be a pure header predicate — it runs "
+                    "before the executor decides state availability, so any "
+                    "state access here is unjournaled",
+                )
+
+    def _chc006_action_tables(self, fn: ast.FunctionDef, declared: Set[str]) -> None:
+        state_name = self._state_param(fn)
+        if state_name is None:
+            return
+        for node in ast.walk(fn):
+            if not (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id == state_name
+                and node.func.attr in self.FAST_STATE_METHODS
+            ):
+                continue
+            first = node.args[0] if node.args else None
+            if isinstance(first, ast.Constant) and isinstance(first.value, str):
+                if first.value not in declared:
+                    self.report(
+                        node,
+                        "CHC006",
+                        f"fast_action touches state object {first.value!r} "
+                        "not listed in match_action_form tables — the fused "
+                        "plan cannot journal or bracket it, breaking "
+                        "batching on/off equivalence",
+                    )
+            else:
+                self.report(
+                    node,
+                    "CHC006",
+                    f"fast_action passes a non-literal table name to "
+                    f"{state_name}.{node.func.attr}(...) — the declared-"
+                    "tables contract must be statically checkable",
+                )
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        self._check_chc006(node)
         self.generic_visit(node)
 
     # ------------------------------------------------------------------

@@ -63,11 +63,18 @@ _FIELD_POSITION = {"src_ip": 0, "dst_ip": 1, "src_port": 2, "dst_port": 3, "prot
 
 
 def _is_control_item(item: Any) -> bool:
-    """NIC never-drop predicate: in-band control / recovery traffic."""
+    """NIC never-drop predicate: in-band control traffic only.
+
+    Losing a handover marker or the replay-end barrier would wedge a
+    Figure-4/§5.4 protocol, so those bypass ring bounds. Bulk *replayed*
+    data packets do NOT: a replay storm flows through the same bounded
+    queues as live traffic (the root paces against entry-ring space, see
+    ``Root.replay``), and a copy that still overruns a ring is shed and
+    accounted like any other drop — its log entry stays replayable.
+    """
     return (
         getattr(item, "control", None) is not None
         or getattr(item, "mark_first", False)
-        or getattr(item, "replayed", False)
         or getattr(item, "replay_end", False)
     )
 
@@ -110,6 +117,15 @@ class RuntimeParams:
     store_op_service_us: float = 0.196
     checkpoint_interval_us: Optional[float] = None
     seed: int = 0
+
+    # --- batched match-action fast path (§6 "software P4") ---------------
+    # When on, NFs that declare a MatchActionForm run batched worker loops
+    # with fused dispatch into adjacent declarative NFs. Off by default:
+    # the general path is the semantic baseline the fast path must match
+    # byte-for-byte (see tools/determinism_check.py --fastpath-equivalence).
+    # Incompatible with wait_for_acks (EO/EO+C models serialize every op).
+    fastpath_enabled: bool = False
+    fastpath_batch: int = 16
 
     # --- overload resilience (§8; all defaults preserve seed behaviour) ---
     # Bounded instance queues: total backlog bound per NF instance (None =
@@ -204,6 +220,7 @@ class ChainRuntime:
                 self.network,
                 f"root{root_id}",
                 forward=self._forward_from_root,
+                forward_wait=self._entry_hop_wait,
                 store_endpoint=self.stores[0].name,
                 root_id=root_id,
                 persist_every=self.params.clock_persist_every,
@@ -293,6 +310,10 @@ class ChainRuntime:
             queue_capacity=self.params.instance_queue_capacity,
             worker_capacity=self.params.worker_queue_capacity,
             overload_policy=self.params.overload_policy,
+            fastpath_enabled=(
+                self.params.fastpath_enabled and not self.params.wait_for_acks
+            ),
+            fastpath_batch=self.params.fastpath_batch,
         )
         self.instances[instance_id] = instance
         self.vertex_instances[vertex_name].append(instance_id)
@@ -497,6 +518,24 @@ class ChainRuntime:
         if destinations:
             self.root_for(packet.clock).note_destination(packet.clock, destinations[0])
 
+    def _entry_hop_wait(self, packet: Packet) -> Generator:
+        """Replay-storm throttle: park the root's replay process until the
+        entry NIC(s) for this packet have ring space.
+
+        Replayed traffic used to ride the ``never_drop`` exemption —
+        correct, but a correlated-failure replay burst could grow entry
+        rings without bound and starve live traffic. Instead the replay
+        source itself is subject to the same bounded queues: it admits one
+        copy per free ring slot. No-op when rings are unbounded.
+        """
+        if self.params.nic_queue_limit is None:
+            return
+        # let the previous copy's link-delayed nic.send land before probing
+        # ring space, otherwise a zero-pace storm passes the check faster
+        # than sends arrive and overruns the ring anyway
+        yield self.sim.timeout(self.params.hop_link_us)
+        yield from self._await_hop_space(self.chain.entry, packet, emitter_id="replay")
+
     # ------------------------------------------------------------------
     # overload shedding (§8)
     # ------------------------------------------------------------------
@@ -521,7 +560,10 @@ class ChainRuntime:
         """A finite NIC ring tail-dropped ``item`` (satellite: unified
         ledger — ring drops used to be invisible to the checkers)."""
         if isinstance(item, Packet):
-            self.note_shed(self.instances.get(instance_id), item, SHED_CAUSE_NIC)
+            instance = self.instances.get(instance_id)
+            if instance is not None:
+                instance._uncount(item)
+            self.note_shed(instance, item, SHED_CAUSE_NIC)
         else:
             self.network.account_drop(SHED_CAUSE_NIC)
 
@@ -597,6 +639,11 @@ class ChainRuntime:
                 # so its tags are accounted for by the surviving copy.
                 self.root_for(copy.clock).report_done(copy.clock, 0, copy.generation)
                 continue
+            target = self.instances.get(dst)
+            if target is not None:
+                # Fast-path flow latch: counted at dispatch (not arrival)
+                # so the NIC/link in-flight window blocks fusion too.
+                target._count_inflight(copy)
             nic = self.nics[dst]
             self.sim.schedule(
                 self.params.hop_link_us, nic.send, copy, copy.size_bits
@@ -616,9 +663,20 @@ class ChainRuntime:
         child.mark_last = False
         child.control = None
 
-    def emit(self, instance: NFInstance, packet: Packet, outputs: List[Output]) -> Generator:
+    def emit(
+        self,
+        instance: NFInstance,
+        packet: Packet,
+        outputs: List[Output],
+        delete_sink: Optional[List[Tuple[str, int, int, int]]] = None,
+    ) -> Generator:
         """Route an instance's outputs; runs the copy accounting and the
-        last-NF delete protocol (§5.4). Generator — the worker drives it."""
+        last-NF delete protocol (§5.4). Generator — the worker drives it.
+
+        ``delete_sink`` (fast path only): instead of sending the async
+        delete report immediately, append ``(root_name, clock, vector,
+        generation)`` — the batched worker flushes the whole batch's
+        reports in one message per root."""
         vertex_name = instance.vertex_name
         clock, generation = packet.clock, packet.generation
         out_edges = self.chain.out_edges(vertex_name)
@@ -660,7 +718,14 @@ class ChainRuntime:
                         name=f"sync-delete-{clock}",
                     )
                     return
-                yield from self._send_delete(instance, clock, packet.bitvector, generation)
+                if delete_sink is not None and clock:
+                    delete_sink.append(
+                        (self.root_for(clock).name, clock, packet.bitvector, generation)
+                    )
+                else:
+                    yield from self._send_delete(
+                        instance, clock, packet.bitvector, generation
+                    )
             else:
                 self.root_for(clock).report_done(clock, packet.bitvector, generation)
             for child in exits:
@@ -681,6 +746,50 @@ class ChainRuntime:
                 if not instance._alive:
                     return
             self._deliver(dst_vertex, copy)
+
+    # ------------------------------------------------------------------
+    # fused fast-path dispatch (§6)
+    # ------------------------------------------------------------------
+
+    def fusion_successor(self, vertex_name: str, edge_label: str) -> Optional[str]:
+        """The unique downstream vertex behind ``edge_label``, if fusable.
+
+        Fusion follows only plain point-to-point edges: an edge label that
+        fans out (mirror edges) needs the copy accounting of the general
+        ``emit`` path, so it returns None.
+        """
+        matches = [
+            e for e in self.chain.out_edges(vertex_name) if e.label == edge_label
+        ]
+        if len(matches) != 1:
+            return None
+        return matches[0].dst
+
+    def fast_target(self, vertex_name: str, packet: Packet) -> Optional[NFInstance]:
+        """The instance a packet may be fused into at ``vertex_name``, or
+        None when it must take the general delivery path.
+
+        Requires total splitter quiescence — a single instance, no clone
+        replication, no overrides and no armed ``mark_first`` (any past or
+        pending move permanently disables fusion into the vertex, which is
+        conservative but keeps the Figure 4 windows airtight) — plus a
+        declarative fast path at the target and a clear per-flow latch.
+        """
+        splitter = self.splitters.get(vertex_name)
+        if (
+            splitter is None
+            or len(splitter.instances) != 1
+            or splitter.replicate
+            or splitter.overrides
+            or splitter._pending_first
+        ):
+            return None
+        instance = self.instances.get(splitter.instances[0])
+        if instance is None or not instance.alive or instance._fastpath is None:
+            return None
+        if instance._inflight_flows.get(packet.five_tuple.canonical().key()):
+            return None
+        return instance
 
     def _send_delete(
         self, instance: NFInstance, clock: int, vector: int, generation: int
@@ -793,6 +902,20 @@ class ChainRuntime:
             for instance_id, nic in self.nics.items()
             if nic.deliver_stalls
         }
+        fastpath: Dict[str, Any] = {}
+        for instance_id, instance in self.instances.items():
+            executor = instance._fastpath
+            if executor is None:
+                continue
+            if executor.stats_fast or executor.stats_fallback:
+                fastpath[instance_id] = {
+                    "fast": executor.stats_fast,
+                    "fallback": executor.stats_fallback,
+                    "fused_in": executor.stats_fused_in,
+                    "batches_sent": instance.client.stats_batches_sent,
+                }
+        if fastpath:
+            report["fastpath"] = fastpath
         return report
 
     # ------------------------------------------------------------------

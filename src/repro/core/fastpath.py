@@ -1,0 +1,449 @@
+"""Batched, fused match-action fast path for NF chains (§6, "software P4").
+
+Per-packet dispatch — one generator resume, one worker-queue hop and a
+handful of store-flush events per packet per NF — dominates the hot path
+once flows are established (BENCH_engine.json ``chain_pipeline``). Cascone
+et al. and Lemur show that NF logic whose state is per-flow-partitionable
+compiles into match-action pipelines executed in bulk. This module is the
+Python analogue:
+
+* NFs declare a :class:`~repro.core.nf_api.MatchActionForm` — a pure
+  header-field ``match`` predicate plus a synchronous ``action`` run
+  against a :class:`~repro.core.nf_api.FastState`;
+* each eligible instance replaces its per-packet worker loops with
+  **batched worker loops**: same flow-sharded queues, but one generator
+  resume services a whole batch, per-packet service time is charged as one
+  lump timeout, and the batch's state flushes coalesce into one
+  :class:`~repro.store.protocol.BatchedOpRequest` per destination store
+  instead of one RPC per update;
+* adjacent declarative NFs are **fused**: when the downstream vertex is a
+  single quiescent instance with a form, the packet executes its action
+  inline instead of crossing the NIC/queue machinery.
+
+Correctness contract (what the equivalence tests in
+``tests/test_fastpath.py`` pin down):
+
+* the action is **speculative** — every state access goes through a
+  :class:`ShadowState` journal; any access that cannot be served from the
+  local caches raises :class:`~repro.core.nf_api.NotFast`, the journal is
+  discarded, and the packet reruns through the unmodified general path
+  with zero visible side effects;
+* on success the journal is replayed through the normal
+  ``StoreClient.update`` machinery, so WAL entries, bit-vector tags
+  (Figure 6 step 1), per-packet sequence numbers and store-side dedup
+  identities are **byte-identical** to what the general path produces;
+* per-flow order is preserved end to end: the flow-sharded worker queues
+  stay FIFO (ineligible packets are processed inline, in order, through
+  the unmodified general machinery), and fusion into a downstream instance
+  is latched off while any packet of the same flow is in flight towards or
+  queued inside it (``NFInstance._inflight_flows``);
+* control traffic — handover markers, replay, clones — never takes the
+  fast path; the ``mark_last`` barrier traverses the same worker queues as
+  before, so a handover flush still fences every queued packet (and
+  ``ack_barrier`` force-flushes any open batch).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.core.nf_api import MatchActionForm, NetworkFunction, NotFast, FastState, Output
+from repro.core.splitter import MoveMarker
+from repro.store.client import PacketContext, StoreClient
+from repro.store.spec import CacheStrategy, StateObjectSpec
+from repro.traffic.packet import Packet
+
+
+def _drive(gen: Generator) -> Any:
+    """Run a generator that must complete without yielding (non-blocking).
+
+    Journal replay only ever goes through locally-servable update paths
+    (the shadow validated that in the same synchronous segment), so the
+    client generators finish on their first resume. A yield here means the
+    shadow's eligibility rules diverged from the client's — a bug, not a
+    runtime condition — so fail loudly.
+    """
+    try:
+        next(gen)
+    except StopIteration as stop:
+        return stop.value
+    raise AssertionError("fast-path journal replay blocked unexpectedly")
+
+
+class ShadowState(FastState):
+    """Speculative, local-only view over a :class:`StoreClient`.
+
+    Reads come from the client's caches (overlaid with this packet's own
+    speculative writes); updates apply the registry function to the shadow
+    copy and append to the journal. Nothing touches the client, the WAL,
+    the bit vector or the network until the executor replays the journal —
+    and it only does that after the whole action succeeded.
+    """
+
+    __slots__ = ("client", "tables", "values", "journal")
+
+    def __init__(self, client: StoreClient, tables: Tuple[str, ...]):
+        self.client = client
+        self.tables = tables
+        self.values: Dict[str, Any] = {}
+        # (obj_name, flow_key, op, args, need_result)
+        self.journal: List[Tuple[str, Optional[Tuple], str, Tuple, bool]] = []
+
+    # -- helpers --------------------------------------------------------
+
+    def _spec(self, obj_name: str) -> StateObjectSpec:
+        if obj_name not in self.tables:
+            # Outside the declared table set: the CHC006 contract. Decline
+            # rather than error — the general path will run the NF's real
+            # logic (and raise there if the object is truly undeclared).
+            raise NotFast(obj_name)
+        spec = self.client.specs.get(obj_name)
+        if spec is None:
+            raise NotFast(obj_name)
+        return spec
+
+    def _strategy(self, spec: StateObjectSpec) -> Optional[CacheStrategy]:
+        """Mirror of ``StoreClient.update``'s strategy resolution: None
+        means caching is globally off (every op offloads non-blocking)."""
+        if not self.client.caching_enabled:
+            return None
+        return spec.strategy()
+
+    def _locally_writable(self, obj_name: str, strategy: Optional[CacheStrategy]) -> bool:
+        """Can updates of this object apply against the local cache?"""
+        if strategy is CacheStrategy.PER_FLOW_CACHE:
+            return True
+        return strategy is CacheStrategy.SPLIT_AWARE and self.client._exclusive.get(
+            obj_name, False
+        )
+
+    # -- FastState ------------------------------------------------------
+
+    def get(self, obj_name: str, flow_key: Optional[Tuple]) -> Any:
+        client = self.client
+        spec = self._spec(obj_name)
+        _sk, storage_key = client._key(obj_name, flow_key)
+        if storage_key in self.values:
+            return self.values[storage_key]
+        strategy = self._strategy(spec)
+        if self._locally_writable(obj_name, strategy):
+            if storage_key in client._cache:
+                client.stats.cached_reads += 1
+                return client._cache[storage_key]
+            raise NotFast(storage_key)  # cold: the general path seeds it
+        if strategy is CacheStrategy.READ_HEAVY_CACHE:
+            if storage_key in client._readheavy_cache:
+                client.stats.cached_reads += 1
+                return client._readheavy_cache[storage_key]
+            raise NotFast(storage_key)
+        # NON_BLOCKING / non-exclusive SPLIT_AWARE / caching off: the
+        # general path read-throughs to the store — never local.
+        raise NotFast(storage_key)
+
+    def update(
+        self,
+        obj_name: str,
+        flow_key: Optional[Tuple],
+        op: str,
+        *args: Any,
+        need_result: bool = False,
+    ) -> Any:
+        client = self.client
+        spec = self._spec(obj_name)
+        _sk, storage_key = client._key(obj_name, flow_key)
+        strategy = self._strategy(spec)
+        if self._locally_writable(obj_name, strategy):
+            if storage_key in self.values:
+                current = self.values[storage_key]
+            elif storage_key in client._cache:
+                current = client._cache[storage_key]
+            elif op in StoreClient._OVERWRITE_OPS:
+                # overwrite ops need no current state — the general path
+                # applies them on a cold cache too
+                current = spec.initial_value
+            else:
+                raise NotFast(storage_key)
+            new_value, return_value = client.registry.apply(op, current, args)
+            self.values[storage_key] = new_value
+            self.journal.append((obj_name, flow_key, op, args, need_result))
+            return return_value
+        if strategy is CacheStrategy.NON_BLOCKING or strategy is None:
+            if need_result:
+                raise NotFast(storage_key)  # blocking round-trip required
+            self.journal.append((obj_name, flow_key, op, args, False))
+            return None
+        # READ_HEAVY updates and non-exclusive SPLIT_AWARE updates run
+        # blocking at the store by design.
+        raise NotFast(storage_key)
+
+
+class FastPathExecutor:
+    """The per-instance fast loop plus the fused-dispatch walk."""
+
+    def __init__(self, instance, form: MatchActionForm, batch_size: int):
+        self.instance = instance
+        self.form = form
+        self.batch_size = max(1, batch_size)
+        self.client: StoreClient = instance.client
+        self.stats_fast = 0
+        self.stats_fallback = 0
+        self.stats_fused_in = 0
+
+    # -- eligibility ----------------------------------------------------
+
+    def eligible(self, packet: Packet) -> bool:
+        """Cheap pre-checks before attempting the speculative action."""
+        instance = self.instance
+        return (
+            packet.control is None
+            and not packet.mark_first
+            and not packet.mark_last
+            and not packet.replayed
+            and not packet.replay_end
+            and packet.replay_target is None
+            and not instance._pending_moves
+            and not instance._buffering
+            and self.form.match(packet)
+        )
+
+    # -- execution ------------------------------------------------------
+
+    def execute(self, packet: Packet) -> Optional[List[Output]]:
+        """Run the action speculatively; commit and return outputs, or None.
+
+        On success this performs *all* the per-packet bookkeeping the
+        general path's ``_process_packet`` does (seen-clock accounting,
+        latency/throughput records, journal replay through the client).
+        """
+        instance = self.instance
+        shadow = ShadowState(self.client, self.form.tables)
+        try:
+            outputs = self.form.action(packet, shadow)
+        except NotFast:
+            self.stats_fallback += 1
+            return None
+        if outputs is None:
+            self.stats_fallback += 1
+            return None
+        if packet.clock in instance._seen_clocks:
+            instance.stats.duplicates_seen += 1
+        elif packet.clock:
+            instance._seen_clocks.add(packet.clock)
+        ctx: PacketContext = self.client.make_context(packet)
+        for obj_name, flow_key, op, args, need_result in shadow.journal:
+            _drive(
+                self.client.update(
+                    obj_name, flow_key, op, *args, need_result=need_result, ctx=ctx
+                )
+            )
+        now = instance.sim.now
+        instance.recorder.record(instance.proc_time_us, timestamp=now)
+        if packet.queued_at:
+            instance.sojourn.record(now - packet.queued_at, timestamp=now)
+        instance.throughput.add(packet.size_bits, now)
+        instance.stats.processed += 1
+        if not outputs:
+            instance.stats.dropped += 1
+        self.stats_fast += 1
+        return outputs
+
+    # -- the batched worker loop ----------------------------------------
+
+    def worker_loop(self, queue) -> Generator:
+        """Batched replacement for ``NFInstance._worker_loop`` (one per
+        worker queue; sharding and per-shard FIFO order are unchanged).
+
+        One generator resume drains up to ``batch_size`` queued packets.
+        Eligible ones run the declarative action (synchronously, with
+        fused downstream dispatch); everything else — barriers, move
+        markers, replayed traffic, declined packets — goes through the
+        unmodified general machinery inline, so it cannot be overtaken.
+        Per-packet service time for fast packets is charged as one lump
+        timeout at the end of the batch: one timer event instead of one
+        per packet, which is where the engine-event win comes from.
+        """
+        instance = self.instance
+        sim = instance.sim
+        while instance._alive:
+            first = yield queue.get()
+            batch = [first]
+            while len(batch) < self.batch_size:
+                item = queue.try_get()
+                if item is None:
+                    break
+                batch.append(item)
+            self.client.batch_begin()
+            touched = [self.client]
+            deletes: List[Tuple[str, int, int, int]] = []
+            debt = 0.0
+            for packet in batch:
+                if packet.control is not None and packet.mark_last:
+                    # handover barrier: this loop is this queue's barrier
+                    # participant, exactly like the general worker loop
+                    yield from instance._on_last_marker(packet.control)
+                    continue
+                if self.eligible(packet):
+                    outputs = self.execute(packet)
+                    if outputs is not None:
+                        debt += instance.proc_time_us
+                        debt += yield from self._emit_fused(
+                            packet, outputs, touched, deletes
+                        )
+                        if not instance._alive:
+                            return
+                        instance._uncount(packet)
+                        continue
+                # General path, inline (replicates _worker_loop's move
+                # handling): blocking state access may stall this queue —
+                # required, later packets of the shard must not overtake.
+                yield from self._general_fallback(packet)
+                if not instance._alive:
+                    return
+            for client in touched:
+                client.batch_flush()
+            if deletes:
+                self._flush_deletes(deletes)
+            if debt > 0.0:
+                yield sim.timeout(debt)
+
+    def _general_fallback(self, packet: Packet) -> Generator:
+        """Run one packet through the general path, move handling included
+        (mirrors the body of ``NFInstance._worker_loop``)."""
+        instance = self.instance
+        marker = None
+        if packet.mark_first and isinstance(packet.control, MoveMarker):
+            marker = packet.control
+            packet.mark_first = False
+            packet.control = None
+            if marker.new_instance != instance.instance_id:
+                marker = instance._matching_pending_move(packet)
+        else:
+            marker = instance._matching_pending_move(packet)
+        if marker is not None:
+            yield from instance._ensure_moved_in(marker)
+        yield from instance._process_packet(packet)
+
+    # -- fused dispatch -------------------------------------------------
+
+    def _flush_deletes(self, deletes: List[Tuple[str, int, int, int]]) -> None:
+        """Send the batch's last-NF delete reports, one message per root."""
+        from repro.core.root import BatchedDeleteRequest, DeleteRequest
+
+        by_root: Dict[str, List[Tuple[int, int, int]]] = {}
+        for root_name, clock, vector, generation in deletes:
+            by_root.setdefault(root_name, []).append((clock, vector, generation))
+        for root_name, entries in by_root.items():
+            if len(entries) == 1:
+                clock, vector, generation = entries[0]
+                message: Any = DeleteRequest(
+                    clock=clock, vector=vector, generation=generation
+                )
+            else:
+                message = BatchedDeleteRequest(tuple(entries))
+            self.client.endpoint.send(root_name, message)
+
+    def _emit_fused(
+        self,
+        packet: Packet,
+        outputs: List[Output],
+        touched: List[StoreClient],
+        deletes: List[Tuple[str, int, int, int]],
+    ) -> Generator:
+        """Walk the packet through fused downstream NFs, then emit.
+
+        Returns the simulated time owed for the fused hops (link + wire +
+        downstream processing) — charged by the caller as part of the
+        batch's lump timeout. Downstream clients whose flush batch this
+        walk opens are appended to ``touched``; the caller flushes them
+        with the batch, so the whole fused run's state flushes coalesce.
+        """
+        runtime = self.instance.runtime
+        params = runtime.params
+        current = self.instance
+        debt = 0.0
+        wire_rate = params.nic_rate_gbps * 1000.0  # bits/µs
+        while len(outputs) == 1 and outputs[0].packet is packet:
+            dst_vertex = runtime.fusion_successor(current.vertex_name, outputs[0].edge)
+            if dst_vertex is None:
+                break
+            target = runtime.fast_target(dst_vertex, packet)
+            if target is None:
+                break
+            dup_filter = runtime.filters[target.instance_id]
+            if dup_filter.enabled and packet.clock and packet.clock in dup_filter._seen:
+                # same suppression (and root accounting) _deliver applies
+                dup_filter.suppressed += 1
+                runtime.duplicates_suppressed += 1
+                runtime.root_for(packet.clock).report_done(
+                    packet.clock, 0, packet.generation
+                )
+                return debt
+            executor = target._fastpath
+            packet.queued_at = self.instance.sim.now
+            if not executor.eligible(packet):
+                break
+            if executor.client._batch is None:
+                executor.client.batch_begin()
+                touched.append(executor.client)
+            fused = executor.execute(packet)
+            if fused is None:
+                break
+            # the fused ingress still records the clock, so a later replay
+            # of this packet is recognised as a duplicate at this instance
+            dup_filter.admit(packet)
+            executor.stats_fused_in += 1
+            debt += (
+                params.hop_link_us
+                + (packet.size_bits + params.nic_overhead_bits) / wire_rate
+                + target.proc_time_us
+            )
+            current = target
+            outputs = fused
+        yield from runtime.emit(current, packet, outputs, delete_sink=deletes)
+        return debt
+
+
+def install_fastpath(instance, batch_size: int) -> Optional[FastPathExecutor]:
+    """Attach a fast-path executor to an instance whose NF declares a form.
+
+    Called by :class:`~repro.core.instance.NFInstance` at construction;
+    returns None (instance stays fully general) when the NF has no
+    declarative form.
+    """
+    nf: NetworkFunction = instance.nf
+    form = nf.match_action_form()
+    if form is None:
+        return None
+    return FastPathExecutor(instance, form, batch_size)
+
+
+def compiled_plan(runtime) -> Dict[str, Any]:
+    """The chain compiler's fusion plan, for reports and tests.
+
+    Lists which vertices are declarative, and the maximal runs of adjacent
+    declarative vertices that batch-dispatch can fuse (static view — at
+    run time each fused hop is additionally gated on splitter quiescence
+    and the per-flow in-flight latch).
+    """
+    declarative = {
+        name
+        for name, vertex in runtime.chain.vertices.items()
+        if vertex.nf_factory().match_action_form() is not None
+    }
+    runs: List[List[str]] = []
+    consumed = set()
+    for name in runtime.chain.vertices:
+        if name not in declarative or name in consumed:
+            continue
+        run = [name]
+        consumed.add(name)
+        nxt = runtime.fusion_successor(name, "out")
+        while nxt in declarative and nxt not in consumed:
+            run.append(nxt)
+            consumed.add(nxt)
+            nxt = runtime.fusion_successor(nxt, "out")
+        runs.append(run)
+    return {
+        "declarative": sorted(declarative),
+        "fused_runs": [run for run in runs if len(run) > 1],
+    }

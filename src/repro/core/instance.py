@@ -112,6 +112,8 @@ class NFInstance:
         queue_capacity: Optional[int] = None,
         worker_capacity: Optional[int] = None,
         overload_policy: str = POLICY_BLOCK,
+        fastpath_enabled: bool = False,
+        fastpath_batch: int = 16,
     ):
         if overload_policy not in OVERLOAD_POLICIES:
             raise ValueError(f"unknown overload policy {overload_policy!r}")
@@ -157,12 +159,29 @@ class NFInstance:
         self._seen_clocks: Set[int] = set()
         self._barrier_counts: Dict[int, int] = {}
 
+        # Fast-path flow latch (§6): packets of a flow in flight towards or
+        # queued inside this instance. Counted at _deliver time (covers the
+        # NIC/link window), decremented when processing completes; fused
+        # dispatch into this instance requires the flow's count to be zero,
+        # so a fused packet can never overtake a general-path one.
+        self._inflight_flows: Dict[Tuple, int] = {}
+        self._track_inflight = fastpath_enabled
+        self._fastpath = None
+        if fastpath_enabled and extra_delay is None:
+            from repro.core.fastpath import install_fastpath
+
+            self._fastpath = install_fastpath(self, fastpath_batch)
+
         self._worker_queues = [
             Channel(sim, name=f"{instance_id}-w{i}", capacity=worker_capacity)
             for i in range(n_workers)
         ]
+        worker_body = (
+            self._fastpath.worker_loop if self._fastpath is not None
+            else self._worker_loop
+        )
         self._processes: List[Process] = [
-            sim.process(self._worker_loop(q), name=f"{instance_id}-w{i}")
+            sim.process(worker_body(q), name=f"{instance_id}-w{i}")
             for i, q in enumerate(self._worker_queues)
         ]
         self._processes.append(sim.process(self._receive_loop(), name=f"{instance_id}-rx"))
@@ -202,6 +221,7 @@ class NFInstance:
             queue.clear()
         self._live_buffer.clear()
         self._pending_moves.clear()
+        self._inflight_flows.clear()
 
     def stop_buffering(self) -> None:
         """Replay finished (or was empty): release buffered live traffic."""
@@ -211,6 +231,36 @@ class NFInstance:
         pending, self._live_buffer = self._live_buffer, []
         for packet in pending:
             self._dispatch(packet)
+
+    # ------------------------------------------------------------------
+    # fast-path flow latch (§6)
+    # ------------------------------------------------------------------
+
+    def _count_inflight(self, packet: Packet) -> None:
+        """One more packet of this flow is bound for this instance.
+
+        Called by the runtime when a copy is dispatched here (before the
+        NIC/link delay, so the in-flight window is covered). No-op unless
+        the fast path is on — the latch only exists to keep fused dispatch
+        from overtaking general-path packets of the same flow.
+        """
+        if not self._track_inflight or packet.mark_last:
+            return
+        key = packet.five_tuple.canonical().key()
+        self._inflight_flows[key] = self._inflight_flows.get(key, 0) + 1
+
+    def _uncount(self, packet: Packet) -> None:
+        """The packet's journey through this instance ended (processed,
+        shed, evicted, or ring-dropped). Floored at zero: packets injected
+        directly in tests never went through the counting side."""
+        if not self._track_inflight or packet.mark_last:
+            return
+        key = packet.five_tuple.canonical().key()
+        count = self._inflight_flows.get(key, 0)
+        if count <= 1:
+            self._inflight_flows.pop(key, None)
+        else:
+            self._inflight_flows[key] = count - 1
 
     # ------------------------------------------------------------------
     # receive path
@@ -252,6 +302,7 @@ class NFInstance:
                 victim = evicted
                 self.input.put(packet)
         self.stats.shed += 1
+        self._uncount(victim)
         self.runtime.note_shed(self, victim, SHED_CAUSE_QUEUE)
         return True
 
@@ -403,6 +454,10 @@ class NFInstance:
         if not outputs:
             self.stats.dropped += 1
         yield from self.runtime.emit(self, packet, outputs or [])
+        # Release the flow latch only after the emit completed: a fused
+        # packet must not slip past this one while emit is parked on
+        # downstream backpressure.
+        self._uncount(packet)
         if was_replay_end:
             self.stop_buffering()
 

@@ -20,7 +20,7 @@ evaluation apples-to-apples.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.store.operations import OperationFn, OperationRegistry, default_registry
 from repro.store.spec import StateObjectSpec
@@ -105,6 +105,74 @@ class LocalStateAPI(StateAPI):
         yield  # pragma: no cover - generator protocol
 
 
+class NotFast(Exception):
+    """A fast-path state access cannot be served locally.
+
+    Raised by :class:`FastState` implementations when the requested object
+    is not warm in the local cache (or its strategy requires a blocking
+    store round-trip). The fast-path executor catches it, discards every
+    speculative effect of the action, and reruns the packet through the
+    general path — so raising it mid-action is always safe.
+    """
+
+
+class FastState:
+    """Synchronous, local-only state access for declarative actions.
+
+    The executor binds this to the NF instance's cached state. Accesses
+    are **speculative**: updates are journalled against shadow copies and
+    only replayed through the real client (WAL, bit-vector tags, sequence
+    numbers, flush batching) once the whole action has succeeded. Any
+    access that would need a store round-trip raises :class:`NotFast`.
+    """
+
+    def get(self, obj_name: str, flow_key: Optional[Tuple]) -> Any:
+        raise NotImplementedError
+
+    def update(
+        self,
+        obj_name: str,
+        flow_key: Optional[Tuple],
+        op: str,
+        *args: Any,
+        need_result: bool = False,
+    ) -> Any:
+        """Apply an operation; returns the op's return value.
+
+        ``need_result=True`` marks ops whose return value the action
+        consumes — for strategies where delivering it would require a
+        blocking store round-trip, the implementation raises
+        :class:`NotFast` instead.
+        """
+        raise NotImplementedError
+
+
+@dataclass
+class MatchActionForm:
+    """An NF's declarative match-action form (§6 "software P4").
+
+    ``tables`` — the state objects the action is allowed to touch. This is
+    the fast path's static contract: chclint rule CHC006 rejects actions
+    that access (in particular cross-flow) state outside this set, and the
+    executor enforces it dynamically by raising :class:`NotFast`.
+
+    ``match`` — a pure predicate over packet **header fields** selecting
+    the packets this form can handle (typically established-flow traffic).
+    It must not touch state; packets failing it take the general path.
+
+    ``action`` — ``action(packet, state) -> Optional[List[Output]]``.
+    Runs synchronously against a :class:`FastState`; returns the outputs
+    (``[]`` drops the packet), or ``None`` to decline and fall back. It
+    must implement exactly the same per-packet semantics as ``process``
+    for every packet that matches and whose state is locally available —
+    the batching on/off equivalence tests hold NFs to that.
+    """
+
+    tables: Tuple[str, ...]
+    match: Callable[[Packet], bool]
+    action: Callable[[Packet, FastState], Optional[List[Output]]]
+
+
 class NetworkFunction:
     """Base class for vertex programs."""
 
@@ -125,6 +193,16 @@ class NetworkFunction:
     def custom_operations(self) -> Dict[str, OperationFn]:
         """Developer-loaded store operations (§4.3)."""
         return {}
+
+    def match_action_form(self) -> Optional[MatchActionForm]:
+        """The NF's declarative fast-path form, if it has one (§6).
+
+        Default None: the NF only has the general (generator) path. NFs
+        that return a form are eligible for batched, fused dispatch; the
+        generator path remains the source of truth for packets the form
+        declines.
+        """
+        return None
 
     def process(self, packet: Packet, state: StateAPI) -> Generator:
         """Handle one packet; returns a list of :class:`Output`.

@@ -38,6 +38,7 @@ from repro.store.cluster import StoreCluster
 from repro.store.keys import StateKey
 from repro.store.operations import OperationRegistry, default_registry
 from repro.store.protocol import (
+    BatchedOpRequest,
     BulkOwnerMove,
     CallbackMessage,
     NonDetRequest,
@@ -136,6 +137,11 @@ class StoreClient:
         self._owner_waiters: Dict[str, List[Event]] = {}
         self._pending_acks: Dict[int, Tuple[Event, Any]] = {}  # ack_id -> (event, request)
         self._ack_seq = 0
+        # Fast-path flush batching (§6): while a batch is open, non-blocking
+        # flushes are accumulated instead of sent, then coalesced into one
+        # BatchedOpRequest per destination store at batch_flush().
+        self._batch: Optional[List[OpRequest]] = None
+        self.stats_batches_sent = 0
 
         # default packet context (single-threaded callers / tests); worker
         # threads pass an explicit context instead
@@ -354,6 +360,10 @@ class StoreClient:
 
     def _nonblocking(self, request: OpRequest) -> Generator:
         request.blocking = False
+        if self._batch is not None and not self.wait_for_acks:
+            self._batch.append(request)
+            self.stats.nonblocking_ops += 1
+            return None
         ack = self.endpoint.call_event(self._dst(request.key), request)
         self.stats.nonblocking_ops += 1
         if self.wait_for_acks:
@@ -394,10 +404,69 @@ class StoreClient:
         # Flushes are non-blocking by design (Table 1): they never stall the
         # packet path; the ACK is tracked so ack_barrier() can fence them.
         request.blocking = False
-        ack = self.endpoint.call_event(self._dst(request.key), request)
-        self._track_ack(request, ack)
+        if self._batch is not None:
+            self._batch.append(request)
+        else:
+            ack = self.endpoint.call_event(self._dst(request.key), request)
+            self._track_ack(request, ack)
         return return_value
         yield  # pragma: no cover - generator protocol
+
+    # ------------------------------------------------------------------
+    # fast-path flush batching (§6)
+    # ------------------------------------------------------------------
+
+    def batch_begin(self) -> None:
+        """Open a flush batch: subsequent non-blocking flushes accumulate."""
+        if self._batch is None:
+            self._batch = []
+
+    def batch_flush(self) -> List[Event]:
+        """Close the batch and send one BatchedOpRequest per store.
+
+        Every accumulated entry keeps its individual (key, clock, seq,
+        vector_tag) identity, so dedup, WAL replay and commit signals are
+        exactly as if the flushes had been sent one by one. Returns the
+        ACK events (tracked for ack_barrier / retransmission like any
+        other flush).
+        """
+        entries = self._batch
+        self._batch = None
+        if not entries:
+            return []
+        return self._send_batched(entries)
+
+    def _send_batched(self, entries: List[OpRequest], attempt: int = 0) -> List[Event]:
+        # Destinations are resolved at send time (and re-resolved, regrouped
+        # on every retransmission) so batches follow a store failover.
+        groups: Dict[str, List[OpRequest]] = {}
+        for entry in entries:
+            groups.setdefault(self._dst(entry.key), []).append(entry)
+        acks: List[Event] = []
+        for dst, group in groups.items():
+            batch = BatchedOpRequest(entries=tuple(group), instance=self.instance_id)
+            ack = self.endpoint.call_event(dst, batch)
+            self._track_ack(batch, ack, attempt)
+            self.stats_batches_sent += 1
+            acks.append(ack)
+        return acks
+
+    @staticmethod
+    def _flush_retryable(request: Any) -> bool:
+        """Only packet-induced ops are reissued — their (key, clock, seq)
+        identity makes the retry idempotent at the store."""
+        if isinstance(request, BatchedOpRequest):
+            return any(e.log_update and e.clock for e in request.entries)
+        return bool(request.log_update and request.clock)
+
+    def _reissue(self, request: Any, attempt: int) -> None:
+        if isinstance(request, BatchedOpRequest):
+            self.stats.retransmissions += 1
+            self._send_batched(list(request.entries), attempt)
+            return
+        ack = self.endpoint.call_event(self._dst(request.key), request)
+        self.stats.retransmissions += 1
+        self._track_ack(request, ack, attempt)
 
     def _track_ack(self, request: OpRequest, ack: Event, attempt: int = 0) -> None:
         self._ack_seq += 1
@@ -427,7 +496,7 @@ class StoreClient:
         self.stats.overload_rejections += 1
         if not self._alive:
             return
-        if not (request.log_update and request.clock) or (
+        if not self._flush_retryable(request) or (
             attempt + 1 >= self.FLUSH_RETRY_BUDGET
         ):
             # Only packet-induced ops are retried (their (key, clock, seq)
@@ -441,9 +510,7 @@ class StoreClient:
     def _reissue_overloaded(self, request: OpRequest, attempt: int) -> None:
         if not self._alive:
             return
-        ack = self.endpoint.call_event(self._dst(request.key), request)
-        self.stats.retransmissions += 1
-        self._track_ack(request, ack, attempt)
+        self._reissue(request, attempt)
 
     def _maybe_retransmit(self, ack_id: int, request: OpRequest, attempt: int) -> None:
         """Reissue an un-ACK'd flush (bounded: FLUSH_RETRY_BUDGET attempts).
@@ -455,7 +522,7 @@ class StoreClient:
         checkers can flag potentially-lost state."""
         if not self._alive or ack_id not in self._pending_acks:
             return
-        if not (request.log_update and request.clock):
+        if not self._flush_retryable(request):
             # Only packet-induced ops are retransmitted: their (key, clock,
             # seq) identity makes retransmission idempotent at the store.
             return
@@ -463,9 +530,7 @@ class StoreClient:
         if attempt + 1 >= self.FLUSH_RETRY_BUDGET:
             self.stats.flushes_gave_up += 1
             return
-        ack = self.endpoint.call_event(self._dst(request.key), request)
-        self.stats.retransmissions += 1
-        self._track_ack(request, ack, attempt + 1)
+        self._reissue(request, attempt + 1)
 
     def ack_barrier(self) -> Event:
         """An event that fires once every outstanding un-ACK'd op is ACK'd.
@@ -473,7 +538,14 @@ class StoreClient:
         Used by the handover protocol's flush step (Figure 4 step 5): only
         *operations* are flushed, never state — which is why CHC's move is
         so much cheaper than OpenNF's (§7.3 R2).
+
+        An open fast-path batch is force-flushed first: entries accumulated
+        but not yet sent would otherwise slip past the handover fence.
         """
+        if self._batch:
+            entries = self._batch
+            self._batch = []
+            self._send_batched(entries)
         pending = [
             event for event, _request in self._pending_acks.values() if not event.triggered
         ]
@@ -738,7 +810,17 @@ class StoreClient:
         keys = set(storage_keys)
         dropped = 0
         for ack_id, (_event, request) in list(self._pending_acks.items()):
-            if request.key in keys:
+            if isinstance(request, BatchedOpRequest):
+                surviving = tuple(e for e in request.entries if e.key not in keys)
+                if len(surviving) != len(request.entries):
+                    dropped += len(request.entries) - len(surviving)
+                    if surviving:
+                        # The retransmit closure holds this same object, so
+                        # shrinking it in place covers future reissues too.
+                        request.entries = surviving
+                    else:
+                        del self._pending_acks[ack_id]
+            elif request.key in keys:
                 del self._pending_acks[ack_id]
                 dropped += 1
         return dropped
@@ -755,7 +837,19 @@ class StoreClient:
         """
         cancelled = 0
         for ack_id, (_event, request) in list(self._pending_acks.items()):
-            if (request.key, request.clock, request.seq) in identities:
+            if isinstance(request, BatchedOpRequest):
+                surviving = tuple(
+                    e
+                    for e in request.entries
+                    if (e.key, e.clock, e.seq) not in identities
+                )
+                if len(surviving) != len(request.entries):
+                    cancelled += len(request.entries) - len(surviving)
+                    if surviving:
+                        request.entries = surviving
+                    else:
+                        del self._pending_acks[ack_id]
+            elif (request.key, request.clock, request.seq) in identities:
                 del self._pending_acks[ack_id]
                 cancelled += 1
         return cancelled

@@ -34,6 +34,9 @@ from repro.simnet.network import Network
 from repro.simnet.rpc import RpcEndpoint, RpcRequest
 from repro.store.operations import OperationRegistry, default_registry
 from repro.store.protocol import (
+    BatchedOpRequest,
+    BatchedCommitSignal,
+    BatchedPruneRequest,
     BulkOwnerMove,
     CloneRegistration,
     LockReadRequest,
@@ -85,6 +88,30 @@ class Checkpoint:
     data: Dict[str, Any]
     ts: Dict[str, Dict[str, int]]
     update_log: Dict[Tuple[str, int], Dict[int, Any]] = field(default_factory=dict)
+
+
+class _BatchState:
+    """Join counter for a :class:`BatchedOpRequest` split across threads."""
+
+    __slots__ = ("remaining", "emulated")
+
+    def __init__(self, remaining: int):
+        self.remaining = remaining
+        self.emulated = 0
+
+
+class _BatchShard:
+    """The slice of a batch whose keys hash onto one store thread.
+
+    Sharding the batch keeps the per-key single-thread invariant: every
+    entry is still applied by the thread that owns its key, in entry order.
+    """
+
+    __slots__ = ("entries", "state")
+
+    def __init__(self, entries: Tuple[OpRequest, ...], state: _BatchState):
+        self.entries = entries
+        self.state = state
 
 
 @dataclass
@@ -155,6 +182,9 @@ class DatastoreInstance:
         self._owner_watchers: Dict[str, Set[str]] = {}
         # (key, clock) -> {op seq -> committed value} for that packet
         self._update_log: Dict[Tuple[str, int], Dict[int, Any]] = {}
+        # clock -> update-log keys logged under it, so the per-packet
+        # prune on delete is O(keys touched), not O(log size)
+        self._log_clocks: Dict[int, List[Tuple[str, int]]] = {}
         # per-key TS metadata: key -> {instance -> clock of last executed
         # op}. The paper's TS is global per store instance (Figure 7 has a
         # single shared object, where the two coincide); per-key TS is the
@@ -205,6 +235,7 @@ class DatastoreInstance:
         self._data.clear()
         self._owners.clear()
         self._update_log.clear()
+        self._log_clocks.clear()
         self._ts.clear()
         self._nondet.clear()
 
@@ -254,6 +285,20 @@ class DatastoreInstance:
                 if self._admission_reject(request):
                     continue
                 self._thread_for(payload.key).put((payload, request))
+            elif isinstance(payload, BatchedOpRequest):
+                # Data-plane load, so subject to admission control like the
+                # individual ops it replaces. The batch is sharded so each
+                # entry still runs on the thread owning its key.
+                if self._admission_reject(request):
+                    continue
+                groups: Dict[int, List[OpRequest]] = {}
+                for entry in payload.entries:
+                    groups.setdefault(
+                        stable_hash(entry.key) % self.n_threads, []
+                    ).append(entry)
+                state = _BatchState(len(groups))
+                for idx, entries in groups.items():
+                    self._queues[idx].put((_BatchShard(tuple(entries), state), request))
             elif isinstance(
                 payload, (WriteRequest, OwnerRequest, WriteUnlockRequest)
             ):
@@ -285,6 +330,9 @@ class DatastoreInstance:
                 self.endpoint.respond(request, True)
             elif isinstance(payload, PruneRequest):
                 self._prune(payload.clock)
+            elif isinstance(payload, BatchedPruneRequest):
+                for clock in payload.clocks:
+                    self._prune(clock)
             elif isinstance(payload, NonDetRequest):
                 self.endpoint.respond(request, self._nondet_value(payload))
             elif isinstance(payload, SnapshotRequest):
@@ -306,6 +354,9 @@ class DatastoreInstance:
             envelope = yield self.endpoint.messages.get()
             if isinstance(envelope.payload, PruneRequest):
                 self._prune(envelope.payload.clock)
+            elif isinstance(envelope.payload, BatchedPruneRequest):
+                for clock in envelope.payload.clocks:
+                    self._prune(clock)
 
     def _watcher_map(self, kind: str) -> Dict[str, Set[str]]:
         return self._value_watchers if kind == "value" else self._owner_watchers
@@ -355,6 +406,34 @@ class DatastoreInstance:
                     self.endpoint.respond(request, result)
                 else:
                     self.endpoint.respond(request, OpResult(value=None, emulated=result.emulated))
+        elif isinstance(payload, _BatchShard):
+            # One op_service_us was charged by the thread loop; charge the
+            # rest so store CPU time matches the unbatched equivalent — the
+            # batching win is in messages and events, not store cycles.
+            if len(payload.entries) > 1:
+                yield self.sim.timeout(self.op_service_us * (len(payload.entries) - 1))
+            signals: List[Tuple[str, int, int]] = []
+            for entry in payload.entries:
+                result = self.apply_operation(entry, signal_sink=signals)
+                if result.emulated:
+                    payload.state.emulated += 1
+                mirror_ack = self._replicate(entry)
+                if mirror_ack is not None:
+                    yield mirror_ack
+            by_root: Dict[str, List[Tuple[int, int]]] = {}
+            for destination, clock, tag in signals:
+                by_root.setdefault(destination, []).append((clock, tag))
+            for destination, sigs in by_root.items():
+                if len(sigs) == 1:
+                    self.endpoint.send(destination, CommitSignal(*sigs[0]))
+                else:
+                    self.endpoint.send(destination, BatchedCommitSignal(tuple(sigs)))
+            payload.state.remaining -= 1
+            if payload.state.remaining == 0 and request is not None:
+                self.endpoint.respond(
+                    request,
+                    OpResult(value=None, emulated=payload.state.emulated > 0),
+                )
         elif isinstance(payload, ReadRequest):
             self.endpoint.respond(request, self._read(payload))
         elif isinstance(payload, WriteRequest):
@@ -399,7 +478,11 @@ class DatastoreInstance:
     # state operations
     # ------------------------------------------------------------------
 
-    def apply_operation(self, op: OpRequest) -> OpResult:
+    def apply_operation(
+        self,
+        op: OpRequest,
+        signal_sink: Optional[List[Tuple[str, int, int]]] = None,
+    ) -> OpResult:
         """Serialize-and-apply one offloaded operation (or emulate it).
 
         Public because store recovery re-executes WAL entries through the
@@ -460,12 +543,17 @@ class DatastoreInstance:
             if op.clock > ts.get(op.instance, 0):
                 ts[op.instance] = op.clock
         if self.dedup_enabled and op.log_update and op.clock:
-            self._update_log.setdefault((key, op.clock), {})[op.seq] = return_value
+            self._log_committed(key, op.clock, op.seq, return_value)
         if op.vector_tag and op.clock and self.root_endpoint:
             # multi-root deployments name roots "root{id}"; the clock's high
             # bits say which root logged this packet
             destination = self.root_endpoint.format(root_id=_clock_root_id(op.clock))
-            self.endpoint.send(destination, CommitSignal(op.clock, op.vector_tag))
+            if signal_sink is not None:
+                # batch-served entry: the caller aggregates this shard's
+                # signals into one message per root (§6 fast path)
+                signal_sink.append((destination, op.clock, op.vector_tag))
+            else:
+                self.endpoint.send(destination, CommitSignal(op.clock, op.vector_tag))
             self.stats.commit_signals += 1
         self._notify_value_watchers(key, new_value, exclude=op.instance)
         return OpResult(
@@ -587,12 +675,22 @@ class DatastoreInstance:
                 self._nondet[cache_key] = self._nondet_rng.random()
         return self._nondet[cache_key]
 
+    def _log_committed(self, key: str, clock: int, seq: int, return_value: Any) -> None:
+        """Record a committed update in the duplicate-suppression log."""
+        log_key = (key, clock)
+        entry = self._update_log.get(log_key)
+        if entry is None:
+            entry = self._update_log[log_key] = {}
+            self._log_clocks.setdefault(clock, []).append(log_key)
+        entry[seq] = return_value
+
     def _prune(self, clock: int) -> None:
         """Drop duplicate-suppression logs for a packet that left the chain."""
-        for log_key in [k for k in self._update_log if k[1] == clock]:
-            del self._update_log[log_key]
-        for nd_key in [k for k in self._nondet if k[0] == clock]:
-            del self._nondet[nd_key]
+        for log_key in self._log_clocks.pop(clock, ()):
+            self._update_log.pop(log_key, None)
+        if self._nondet:
+            for nd_key in [k for k in self._nondet if k[0] == clock]:
+                del self._nondet[nd_key]
 
     # ------------------------------------------------------------------
     # checkpointing & introspection

@@ -54,6 +54,23 @@ class OpResult:
 
 
 @dataclass
+class BatchedOpRequest:
+    """A batch of non-blocking updates flushed in one RPC (§6 fast path).
+
+    The batched fast path coalesces the per-packet flush traffic of a whole
+    packet batch into a single store round-trip. Each entry is a complete
+    :class:`OpRequest` carrying its own (key, clock, seq, vector_tag)
+    identity, so duplicate emulation, WAL logging and commit signals behave
+    **exactly** as if the entries had been sent individually — the batch
+    changes message/event count, never semantics. The store applies entries
+    in order and replies with one ACK for the whole batch.
+    """
+
+    entries: Tuple["OpRequest", ...]
+    instance: str = ""
+
+
+@dataclass
 class Overloaded:
     """Retryable admission-control rejection (§8).
 
@@ -210,10 +227,33 @@ class CommitSignal:
 
 
 @dataclass
+class BatchedCommitSignal:
+    """Store → root: commit signals for a batch-served set of updates.
+
+    Transport aggregation only (§6 fast path): the root processes each
+    ``(clock, vector_tag)`` entry exactly as an individual
+    :class:`CommitSignal`, in order — one message instead of one per op.
+    """
+
+    signals: Tuple[Tuple[int, int], ...]
+
+
+@dataclass
 class PruneRequest:
     """Root → store: packet ``clock`` left the chain; drop its update logs."""
 
     clock: int
+
+
+@dataclass
+class BatchedPruneRequest:
+    """Root → store: prune several departed clocks in one message.
+
+    The root aggregates prunes that fall due within one grace window;
+    each clock is pruned exactly as an individual :class:`PruneRequest`.
+    """
+
+    clocks: Tuple[int, ...]
 
 
 @dataclass

@@ -251,8 +251,8 @@ def recover_store_instance(
     covered: set = set()
     if checkpoint:
         for (log_key, clock), seqs in checkpoint.update_log.items():
-            replacement._update_log.setdefault((log_key, clock), {}).update(seqs)
-            for seq in seqs:
+            for seq, value in seqs.items():
+                replacement._log_committed(log_key, clock, seq, value)
                 covered.add((log_key, clock, seq))
     wals = {client.instance_id: client.wal for client in clients}
     shared_keys = sorted(

@@ -100,6 +100,47 @@ class TestRules:
         )
         assert lint.check_source(source, Path("core/mod.py")) == []
 
+    def test_chc006_declarative_contract(self):
+        findings = fixture_findings(Path("nfs") / "bad_chc006.py")
+        codes = [f.code for f in findings]
+        assert codes and set(codes) == {"CHC006"}
+        messages = " ".join(f.message for f in findings)
+        assert "'undeclared'" in messages  # table missing from the form
+        assert "non-literal" in messages  # dynamic table name
+        assert "pure header predicate" in messages  # stateful fast_match
+        assert len(findings) == 3
+
+    def test_chc006_declared_tables_pass(self):
+        source = (
+            "class GoodNF:\n"
+            "    def fast_action(self, packet, state):\n"
+            "        state.update('conn', None, 'set', 1)\n"
+            "        return []\n"
+            "    def match_action_form(self):\n"
+            "        return MatchActionForm(\n"
+            "            tables=('conn',), match=None, action=self.fast_action)\n"
+        )
+        assert lint.check_source(source, Path("nfs/good_nf.py")) == []
+
+    def test_chc006_inactive_outside_nfs_dirs(self):
+        source = (
+            "class C:\n"
+            "    def fast_action(self, packet, state):\n"
+            "        state.update('anything', None, 'set', 1)\n"
+            "    def match_action_form(self):\n"
+            "        return MatchActionForm(tables=(), match=None, action=None)\n"
+        )
+        assert lint.check_source(source, Path("core/mod.py")) == []
+
+    def test_chc006_no_form_means_no_contract(self):
+        # an imperative-only NF (no match_action_form) is out of scope
+        source = (
+            "class PlainNF:\n"
+            "    def fast_action(self, packet, state):\n"
+            "        state.update('whatever', None, 'set', 1)\n"
+        )
+        assert lint.check_source(source, Path("nfs/plain.py")) == []
+
 
 class TestMechanics:
     def test_good_fixture_is_clean(self):

@@ -1,0 +1,226 @@
+"""Batched, fused match-action fast path (DESIGN.md §10).
+
+The headline property is the equivalence contract: for workloads whose
+per-flow decisions do not depend on cross-flow interleaving, a seeded run
+with batching ON produces byte-identical per-flow egress (content and
+order) and identical per-flow state values as the same seed with batching
+OFF — including across a mid-run handover and an NF crash + failover.
+Allocation bindings (NAT ports, LB backend picks) are compared by *key*
+only: which free port a flow draws depends on cross-flow allocation
+order, which batching legally reserializes (§10.4).
+
+Unit tests pin the mechanism underneath: the chain compiler's fusion
+plan, ShadowState's local-serve/decline rules, eligibility gating, and
+the speculative-journal discipline (a declined action leaves zero
+visible side effects).
+"""
+
+import pytest
+
+from repro.analysis.determinism import (
+    check_fastpath_equivalence,
+    flow_egress_digest,
+    per_flow_state,
+    run_equivalence_once,
+)
+from repro.core.chain_runtime import ChainRuntime, RuntimeParams
+from repro.core.fastpath import ShadowState, compiled_plan, install_fastpath
+from repro.core.nf_api import NotFast
+from repro.simnet.engine import Simulator
+from repro.traffic.packet import FiveTuple, Packet
+from tests.conftest import make_packet
+
+SEEDS = (11, 23)
+
+
+def flow_tuple(f):
+    """The same five-tuple construction as ``seeded_workload``."""
+    return FiveTuple(f"10.0.{f % 4}.{1 + f}", f"52.0.0.{1 + (f % 5)}", 5000 + f, 80, 6)
+
+
+def assert_equivalent(off, on, require_fast=True):
+    assert flow_egress_digest(off) == flow_egress_digest(on)
+    assert per_flow_state(off) == per_flow_state(on)
+    if require_fast:
+        fast = sum(
+            i._fastpath.stats_fast
+            for i in on.instances.values()
+            if i._fastpath is not None
+        )
+        assert fast > 0, "batched run never took the fast path — vacuous"
+
+
+class TestEquivalence:
+    def test_batching_on_off_equivalence(self):
+        report = check_fastpath_equivalence(SEEDS, packets=300, flows=10)
+        assert report["ok"], report["mismatches"]
+
+    def test_equivalence_with_mid_batch_handover(self):
+        """A Figure-4 move lands mid-run: the mark_last barrier must fence
+        every queued packet in the batched worker loops too."""
+        from repro.core.handover import move_flows
+
+        def fault(sim, runtime):
+            runtime.add_instance("nat", suffix="1")
+
+            def mover():
+                yield sim.timeout(100.0)
+                splitter = runtime.splitter("nat")
+                keys = []
+                for f in range(10):
+                    key = splitter.key_of(Packet(flow_tuple(f)))
+                    if (
+                        splitter.current_instance_for(key) == "nat-0"
+                        and key not in keys
+                    ):
+                        keys.append(key)
+                assert keys, "no flows on nat-0 — fault harness broken"
+                yield from move_flows(runtime, "nat", keys[:4], "nat-1")
+
+            sim.process(mover())
+
+        for seed in SEEDS:
+            off = run_equivalence_once(seed, False, packets=300, flows=10, fault=fault)
+            on = run_equivalence_once(seed, True, packets=300, flows=10, fault=fault)
+            assert_equivalent(off, on)
+
+    def test_equivalence_with_nf_failure(self):
+        """Crash + failover of a declarative NF mid-run: recovery replay
+        (throttled through bounded queues) must converge both modes to the
+        same per-flow egress and state."""
+        from repro.core.recovery import fail_over_nf
+
+        def fault(sim, runtime):
+            def crasher():
+                yield sim.timeout(150.0)
+                runtime.instances["ratelimiter-0"].fail()
+                yield from fail_over_nf(runtime, "ratelimiter-0")
+
+            sim.process(crasher())
+
+        for seed in SEEDS:
+            off = run_equivalence_once(seed, False, packets=300, flows=10, fault=fault)
+            on = run_equivalence_once(seed, True, packets=300, flows=10, fault=fault)
+            assert_equivalent(off, on)
+
+    def test_batch_size_one_degenerates_cleanly(self):
+        off = run_equivalence_once(7, False, packets=150, flows=6)
+        on = run_equivalence_once(7, True, packets=150, flows=6, batch=1)
+        assert_equivalent(off, on)
+
+
+class TestCompiler:
+    def _runtime(self, fastpath=True):
+        from repro.analysis.determinism import _declarative_chain
+
+        sim = Simulator()
+        runtime = ChainRuntime(
+            sim,
+            _declarative_chain(),
+            params=RuntimeParams(fastpath_enabled=fastpath),
+        )
+        return sim, runtime
+
+    def test_fusion_plan_covers_declarative_run(self):
+        _, runtime = self._runtime()
+        plan = compiled_plan(runtime)
+        assert plan["declarative"] == ["firewall", "lb", "nat", "ratelimiter"]
+        assert plan["fused_runs"] == [["firewall", "nat", "ratelimiter", "lb"]]
+
+    def test_non_declarative_nf_gets_no_executor(self):
+        from repro.core.dag import LogicalChain
+        from repro.nfs.nat import Nat
+        from repro.nfs.portscan import PortscanDetector
+
+        sim = Simulator()
+        chain = LogicalChain("mixed")
+        chain.add_vertex("nat", Nat, entry=True)
+        chain.add_vertex("scan", PortscanDetector)
+        chain.add_edge("nat", "scan")
+        runtime = ChainRuntime(sim, chain, params=RuntimeParams(fastpath_enabled=True))
+        assert runtime.instances["nat-0"]._fastpath is not None
+        assert runtime.instances["scan-0"]._fastpath is None
+        # and the plan shows no fusable run (a single declarative vertex)
+        assert compiled_plan(runtime)["fused_runs"] == []
+
+    def test_fastpath_disabled_installs_nothing(self):
+        _, runtime = self._runtime(fastpath=False)
+        assert all(i._fastpath is None for i in runtime.instances.values())
+
+
+class TestShadowState:
+    def _client(self):
+        _, runtime = TestCompiler()._runtime()
+        return runtime.instances["firewall-0"].client
+
+    def test_undeclared_table_declines(self):
+        shadow = ShadowState(self._client(), tables=("conn_allowed",))
+        with pytest.raises(NotFast):
+            shadow.get("denied_count", None)
+
+    def test_unknown_object_declines(self):
+        shadow = ShadowState(self._client(), tables=("nonexistent",))
+        with pytest.raises(NotFast):
+            shadow.get("nonexistent", None)
+
+    def test_cold_per_flow_read_declines(self):
+        shadow = ShadowState(self._client(), tables=("conn_allowed", "denied_count"))
+        with pytest.raises(NotFast):
+            shadow.get("conn_allowed", ("10.0.0.9", "52.0.0.1", 9, 80, 6))
+
+    def test_overwrite_op_applies_on_cold_cache(self):
+        client = self._client()
+        shadow = ShadowState(client, tables=("conn_allowed", "denied_count"))
+        flow = ("10.0.0.9", "52.0.0.1", 9, 80, 6)
+        shadow.update("conn_allowed", flow, "set", True)
+        assert shadow.get("conn_allowed", flow) is True
+        assert len(shadow.journal) == 1
+        # speculative: nothing reached the client cache or the wire
+        _, storage_key = client._key("conn_allowed", flow)
+        assert storage_key not in client._cache
+
+    def test_declined_action_leaves_no_side_effects(self):
+        client = self._client()
+        shadow = ShadowState(client, tables=("conn_allowed",))
+        flow = ("10.0.0.9", "52.0.0.1", 9, 80, 6)
+        shadow.update("conn_allowed", flow, "set", True)
+        with pytest.raises(NotFast):
+            shadow.update("denied_count", None, "incr", 1)  # undeclared
+        # the earlier speculative write stayed in the discarded journal:
+        # nothing reached the client cache
+        _, storage_key = client._key("conn_allowed", flow)
+        assert storage_key not in client._cache
+
+
+class TestEligibility:
+    def _executor(self):
+        _, runtime = TestCompiler()._runtime()
+        return runtime.instances["firewall-0"]._fastpath
+
+    def test_plain_packet_is_eligible(self):
+        assert self._executor().eligible(make_packet())
+
+    def test_control_and_recovery_traffic_declines(self):
+        executor = self._executor()
+        assert not executor.eligible(make_packet(replayed=True))
+        assert not executor.eligible(make_packet(mark_first=True))
+        assert not executor.eligible(make_packet(mark_last=True))
+        assert not executor.eligible(make_packet(replay_target="firewall-1"))
+        marked = make_packet()
+        marked.control = object()
+        assert not executor.eligible(marked)
+
+
+class TestBatchedTransport:
+    def test_fast_run_uses_batched_rpcs_and_fused_dispatch(self):
+        on = run_equivalence_once(5, True, packets=300, flows=10)
+        instances = [i for i in on.instances.values() if i._fastpath is not None]
+        assert sum(i._fastpath.stats_fast for i in instances) > 0
+        assert sum(i._fastpath.stats_fused_in for i in instances) > 0
+        # the entry NF's client actually coalesced flushes into batches
+        entry_client = on.instances["firewall-0"].client
+        assert entry_client.stats_batches_sent > 0
+
+    def test_off_run_is_untouched(self):
+        off = run_equivalence_once(5, False, packets=150, flows=6)
+        assert all(i._fastpath is None for i in off.instances.values())

@@ -81,6 +81,12 @@ def main(argv=None) -> int:
         action="store_true",
         help="run with the runtime sanitizer suite installed",
     )
+    parser.add_argument(
+        "--fastpath-equivalence",
+        action="store_true",
+        help="also run the declarative chain with batching off vs on per "
+        "seed and require identical per-flow egress and state",
+    )
     parser.add_argument("-o", "--output", default="BENCH_determinism.json")
     args = parser.parse_args(argv)
 
@@ -102,6 +108,19 @@ def main(argv=None) -> int:
         sanitize=args.sanitize,
         progress=progress,
     )
+    equivalence = None
+    if args.fastpath_equivalence:
+        from repro.analysis.determinism import check_fastpath_equivalence
+
+        def fp_progress(case: dict) -> None:
+            verdict = "ok" if case["ok"] else "MISMATCH"
+            print(
+                f"  fastpath-equivalence seed={case['seed']} {verdict} "
+                f"(fast hits: {case['fast_hits']})",
+                flush=True,
+            )
+
+        equivalence = check_fastpath_equivalence(seeds, progress=fp_progress)
     payload = {
         "bench": "determinism",
         "config": {
@@ -110,17 +129,32 @@ def main(argv=None) -> int:
             "chaos": args.chaos,
             "overload": args.overload,
             "sanitize": args.sanitize,
+            "fastpath_equivalence": args.fastpath_equivalence,
         },
         "host": {"python": platform.python_version(), "machine": platform.machine()},
         "wall_s": round(time.time() - started, 2),
         "report": report,
+        "fastpath_equivalence": equivalence,
     }
     with open(args.output, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
     print(render(report))
+    if equivalence is not None:
+        verdict = "ok" if equivalence["ok"] else "MISMATCH"
+        print(
+            f"fastpath equivalence (batching off vs on, "
+            f"{len(equivalence['cases'])} seeds): {verdict}"
+        )
     print(f"wrote {args.output} ({payload['wall_s']}s)")
-    if not report["ok"]:
-        print(f"FAIL: {len(report['mismatches'])} same-seed digest mismatch(es)")
+    failed = not report["ok"] or (equivalence is not None and not equivalence["ok"])
+    if failed:
+        if not report["ok"]:
+            print(f"FAIL: {len(report['mismatches'])} same-seed digest mismatch(es)")
+        if equivalence is not None and not equivalence["ok"]:
+            print(
+                "FAIL: fastpath equivalence mismatch on seed(s) "
+                f"{[case['seed'] for case in equivalence['mismatches']]}"
+            )
         return 1
     print("all same-seed digests agree")
     return 0

@@ -12,10 +12,19 @@ Usage::
     PYTHONPATH=src python tools/perf_report.py --smoke    # CI-sized
     PYTHONPATH=src python tools/perf_report.py -o out.json
 
-The acceptance bar for the overhaul is >=2x event throughput vs the seed
-on ``channel_churn`` and ``timer_storm`` at full size; ``--check`` makes
-the exit status enforce it (used by the release checklist, not CI — CI
-machines are too noisy for a hard wall-clock gate).
+The acceptance bars are >=2x event throughput vs the seed on
+``channel_churn`` and ``timer_storm``, and >=2x wall speedup from the
+batched match-action fast path on ``chain_pipeline`` (fastpath off vs on,
+same machine), all at full size; ``--check`` makes the exit status enforce
+them (used by the release checklist, not CI — CI machines are too noisy
+for a hard wall-clock gate).
+
+``--quick`` is the CI perf-smoke mode: it runs only ``chain_pipeline``
+(off vs on) at reduced size and fails if the measured fast-path speedup
+falls more than 20% below the committed ``BENCH_engine.json`` figure.
+The gate compares the off/on *ratio*, not raw seconds — the ratio is
+same-machine relative, so it transfers across CI hosts where absolute
+wall-clock does not.
 """
 
 from __future__ import annotations
@@ -30,7 +39,12 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
 sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
 
-ACCEPTANCE = {"channel_churn": 2.0, "timer_storm": 2.0}
+ACCEPTANCE = {"channel_churn": 2.0, "timer_storm": 2.0, "chain_pipeline": 2.0}
+
+# --quick: tolerated relative drop of the chain_pipeline fast-path speedup
+# vs the committed BENCH_engine.json before CI fails the perf-smoke job.
+QUICK_TOLERANCE = 0.20
+QUICK_KWARGS = dict(packets=600, flows=50)
 
 
 def build_payload(smoke: bool, repeats: int) -> dict:
@@ -54,17 +68,51 @@ def render(payload: dict) -> str:
         f"{'scenario':<16} {'units':>8} {'legacy':>10} {'new':>10} {'speedup':>8}",
     ]
     for name, row in payload["scenarios"].items():
-        if "speedup" in row:
+        if "legacy_wall_s" in row:
             lines.append(
                 f"{name:<16} {row['units']:>8} {row['legacy_wall_s']:>9.4f}s"
                 f" {row['new_wall_s']:>9.4f}s {row['speedup']:>7.2f}x"
             )
         else:
+            # chain_pipeline: "legacy" column = fastpath off, "new" = on
+            fast = row.get("fastpath", {})
+            speed = f"{row['speedup']:>7.2f}x" if "speedup" in row else f"{'-':>8}"
+            new_wall = (
+                f"{fast['wall_s']:>9.4f}s" if fast else f"{row['new_wall_s']:>9.4f}s"
+            )
             lines.append(
-                f"{name:<16} {row['engine_events']:>8} {'-':>10}"
-                f" {row['new_wall_s']:>9.4f}s {'-':>8}"
+                f"{name:<16} {row['engine_events']:>8} {row['new_wall_s']:>9.4f}s"
+                f" {new_wall} {speed}"
             )
     return "\n".join(lines)
+
+
+def run_quick(repeats: int, baseline_path: str) -> int:
+    """CI perf-smoke: chain_pipeline off/on only, ratio-gated vs baseline."""
+    from bench_engine_micro import chain_pipeline
+
+    import repro.simnet.engine as new_engine
+
+    best_off = best_on = float("inf")
+    for _ in range(repeats):
+        _, wall = chain_pipeline(new_engine, fastpath=False, **QUICK_KWARGS)
+        best_off = min(best_off, wall)
+        _, wall = chain_pipeline(new_engine, fastpath=True, **QUICK_KWARGS)
+        best_on = min(best_on, wall)
+    measured = best_off / best_on
+    try:
+        with open(baseline_path) as fh:
+            committed = json.load(fh)["scenarios"]["chain_pipeline"]["speedup"]
+    except (OSError, KeyError, ValueError) as exc:
+        print(f"perf-smoke: no usable baseline ({exc}); measured {measured:.2f}x")
+        return 0
+    floor = committed * (1.0 - QUICK_TOLERANCE)
+    verdict = "OK" if measured >= floor else "REGRESSED"
+    print(
+        f"perf-smoke {verdict}: chain_pipeline fast-path speedup "
+        f"{measured:.2f}x (committed {committed}x, floor {floor:.2f}x)"
+    )
+    return 0 if measured >= floor else 1
 
 
 def main(argv=None) -> int:
@@ -77,6 +125,11 @@ def main(argv=None) -> int:
         help="exit non-zero unless the full-size acceptance ratios hold",
     )
     parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI perf-smoke: chain_pipeline only, gated vs committed baseline",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=os.path.join(REPO_ROOT, "BENCH_engine.json"),
@@ -85,6 +138,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
+
+    if args.quick:
+        return run_quick(args.repeats, args.output)
 
     payload = build_payload(args.smoke, args.repeats)
     with open(args.output, "w") as fh:
