@@ -292,28 +292,35 @@ def _compare(fn: Callable, legacy, new_engine, kwargs: Dict, repeats: int) -> Tu
     return best_legacy, best_new, units
 
 
-def run_comparison(smoke: bool = False, repeats: int = 5) -> Dict[str, Any]:
-    """Run every scenario on both engines; returns the BENCH_engine payload."""
+def _scenario_row(name: str, smoke: bool, repeats: int) -> Dict[str, Any]:
+    """One legacy-vs-new scenario row, self-contained for pool workers."""
     import repro.simnet.engine as new_engine
 
     legacy = _load_legacy()
-    results: Dict[str, Any] = {"scenarios": {}}
-    for name, fn in SCENARIOS.items():
-        kwargs = SMOKE_KWARGS[name] if smoke else {}
-        legacy_s, new_s, units = _compare(fn, legacy, new_engine, kwargs, repeats)
-        results["scenarios"][name] = {
-            "units": units,
-            "legacy_wall_s": round(legacy_s, 4),
-            "new_wall_s": round(new_s, 4),
-            "legacy_units_per_s": round(units / legacy_s),
-            "new_units_per_s": round(units / new_s),
-            "speedup": round(legacy_s / new_s, 2),
-        }
-    # full pipeline: new engine only (ChainRuntime is built on it).
-    # Interleave fastpath-off/on repeats (same reasoning as _compare) and
-    # record both modes; the off/on wall ratio is the PR-6 acceptance
-    # metric and — being same-machine, same-run — is stable across hosts
-    # in a way raw wall seconds are not.
+    kwargs = SMOKE_KWARGS[name] if smoke else {}
+    legacy_s, new_s, units = _compare(
+        SCENARIOS[name], legacy, new_engine, kwargs, repeats
+    )
+    return {
+        "units": units,
+        "legacy_wall_s": round(legacy_s, 4),
+        "new_wall_s": round(new_s, 4),
+        "legacy_units_per_s": round(units / legacy_s),
+        "new_units_per_s": round(units / new_s),
+        "speedup": round(legacy_s / new_s, 2),
+    }
+
+
+def _chain_pipeline_row(smoke: bool, repeats: int) -> Dict[str, Any]:
+    """Full pipeline: new engine only (ChainRuntime is built on it).
+
+    Interleave fastpath-off/on repeats (same reasoning as _compare) and
+    record both modes; the off/on wall ratio is the PR-6 acceptance
+    metric and — being same-machine, same-run — is stable across hosts
+    in a way raw wall seconds are not.
+    """
+    import repro.simnet.engine as new_engine
+
     kwargs = SMOKE_KWARGS["chain_pipeline"] if smoke else {}
     best_off = best_on = float("inf")
     events_off = events_on = 0
@@ -324,7 +331,7 @@ def run_comparison(smoke: bool = False, repeats: int = 5) -> Dict[str, Any]:
         events_on, wall = chain_pipeline(new_engine, fastpath=True, **kwargs)
         if wall < best_on:
             best_on = wall
-    results["scenarios"]["chain_pipeline"] = {
+    return {
         "engine_events": events_off,
         "new_wall_s": round(best_off, 4),
         "events_per_s": round(events_off / best_off),
@@ -336,6 +343,45 @@ def run_comparison(smoke: bool = False, repeats: int = 5) -> Dict[str, Any]:
         },
         "speedup": round(best_off / best_on, 2),
     }
+
+
+def comparison_work(item: Dict[str, Any]) -> Tuple[str, Dict[str, Any]]:
+    """Pool work function: one scenario's full measurement.
+
+    Each scenario's legacy/new (or off/on) repeats stay interleaved
+    inside ONE worker, so the recorded ratios remain same-process
+    comparisons even when scenarios fan out across cores. Raw wall
+    seconds do pick up cross-worker scheduling noise under ``--jobs >
+    1`` — use parallel mode for sweep breadth, serial for headline
+    numbers (see ``tools/perf_report.py --jobs``).
+    """
+    name = item["name"]
+    if name == "chain_pipeline":
+        return (name, _chain_pipeline_row(item["smoke"], item["repeats"]))
+    return (name, _scenario_row(name, item["smoke"], item["repeats"]))
+
+
+def run_comparison(
+    smoke: bool = False, repeats: int = 5, jobs: Any = 1
+) -> Dict[str, Any]:
+    """Run every scenario on both engines; returns the BENCH_engine payload.
+
+    ``jobs > 1`` fans the scenarios across processes via
+    :class:`repro.parallel.CampaignPool`; rows merge in the fixed
+    scenario order, so the payload layout is identical either way.
+    """
+    names = list(SCENARIOS) + ["chain_pipeline"]
+    items = [{"name": name, "smoke": smoke, "repeats": repeats} for name in names]
+    from repro.parallel import CampaignPool
+
+    pool = CampaignPool(jobs=jobs)
+    pooled = pool.map(comparison_work, items)
+    if pooled.infra_failures:
+        details = "; ".join(f.detail for f in pooled.infra_failures)
+        raise RuntimeError(f"benchmark worker(s) failed: {details}")
+    results: Dict[str, Any] = {"scenarios": {}}
+    for name, row in pooled.values():  # submission order == `names` order
+        results["scenarios"][name] = row
     return results
 
 
@@ -367,10 +413,16 @@ def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--smoke", action="store_true", help="tiny sizes (CI)")
     parser.add_argument("--repeats", type=int, default=5)
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        help="worker processes ('auto' = cpu count); >1 trades wall-second "
+        "fidelity for sweep wall-clock — ratios stay same-process",
+    )
     args = parser.parse_args(argv)
     if args.repeats < 1:
         parser.error("--repeats must be >= 1")
-    results = run_comparison(smoke=args.smoke, repeats=args.repeats)
+    results = run_comparison(smoke=args.smoke, repeats=args.repeats, jobs=args.jobs)
     json.dump(results, sys.stdout, indent=2)
     print()
     return 0

@@ -14,9 +14,10 @@ CHC001 Unseeded / module-level randomness: ``random.*`` calls (other
        nondeterminism must flow through seeded ``random.Random``
        instances.
 CHC002 Wall-clock reads (``time.time``, ``perf_counter``, ``monotonic``,
-       ``datetime.now`` …) outside ``tools/`` / benchmark code. The
-       simulator is the only clock; wall-clock reads break
-       seed-reproducibility and virtual-time accounting.
+       ``datetime.now`` …) outside ``tools/`` / benchmark code / the
+       ``repro/parallel`` campaign fabric. The simulator is the only
+       clock; wall-clock reads break seed-reproducibility and
+       virtual-time accounting.
 CHC003 Iterating a ``set``/``frozenset`` or ``dict.values()`` where the
        loop body schedules or emits (``put``, ``send``, ``emit``,
        ``process``, …) without ``sorted(...)``. Set order depends on
@@ -71,8 +72,10 @@ ALL_RULES: Dict[str, str] = {
 }
 
 #: Path fragments whose files may read the wall clock (CHC002 exempt):
-#: host-side drivers and benchmark harnesses measure real elapsed time.
-WALL_CLOCK_EXEMPT_PARTS = ("tools", "benchmarks", "bench")
+#: host-side drivers, benchmark harnesses, and the parallel campaign
+#: fabric (``repro/parallel`` — worker timeouts and per-run wall
+#: accounting are host-side measurements, never simulation clocks).
+WALL_CLOCK_EXEMPT_PARTS = ("tools", "benchmarks", "bench", "parallel")
 
 WALL_CLOCK_TIME_ATTRS = {
     "time",

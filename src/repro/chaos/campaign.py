@@ -22,7 +22,7 @@ distributions (Figure 8-style percentiles: 5/25/50/75/95) into a
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.chaos.director import ChaosDirector, DetectionModel
 from repro.chaos.invariants import (
@@ -42,6 +42,7 @@ from repro.chaos.schedule import (
 from repro.core.chain_runtime import ChainRuntime, RuntimeParams
 from repro.core.dag import LogicalChain
 from repro.core.nf_api import NetworkFunction, Output
+from repro.parallel import CampaignPool, InfraFailure, RunFailure
 from repro.simnet.engine import Simulator
 from repro.simnet.monitor import PERCENTILES_FIG8, RecoveryTimeline, percentiles
 from repro.store.spec import AccessPattern, Scope, StateObjectSpec
@@ -322,9 +323,20 @@ def run_scenario(
 
 @dataclass
 class CampaignReport:
-    """Aggregated campaign results (what BENCH_recovery.json holds)."""
+    """Aggregated campaign results (what BENCH_recovery.json holds).
+
+    Three distinct failure populations (see :mod:`repro.parallel`):
+    ``violations`` (run finished, invariant broke), ``failures`` (the run
+    itself raised — recorded, remaining seeds kept running), and
+    ``infra_failures`` (the worker executing the run was lost). All
+    three make :attr:`ok` false; only violations indict the dataplane.
+    """
 
     outcomes: List[ScenarioOutcome] = field(default_factory=list)
+    failures: List[RunFailure] = field(default_factory=list)
+    infra_failures: List[InfraFailure] = field(default_factory=list)
+    pool_stats: Optional[Dict[str, Any]] = None  # meta fragment, not payload
+    sanitizers: Optional[Dict[str, Any]] = None  # merged per-run reports
 
     @property
     def total_violations(self) -> int:
@@ -332,7 +344,11 @@ class CampaignReport:
 
     @property
     def ok(self) -> bool:
-        return self.total_violations == 0
+        return (
+            self.total_violations == 0
+            and not self.failures
+            and not self.infra_failures
+        )
 
     def recovery_samples(self) -> Dict[str, List[float]]:
         """scenario -> every component recovery time (failed->recovered)."""
@@ -353,30 +369,44 @@ class CampaignReport:
 
     def as_dict(self) -> Dict[str, Any]:
         per_scenario: Dict[str, Any] = {}
+        recovery = self.recovery_samples()
         protocol = self.protocol_samples()
-        for scenario, samples in sorted(self.recovery_samples().items()):
+        # every scenario that *attempted* a run gets a row, including one
+        # whose every run crashed (zero recoveries, zero percentiles —
+        # percentiles() on an empty sample set is {}, not an error)
+        names = sorted(
+            {o.scenario for o in self.outcomes}
+            | {f.scenario for f in self.failures}
+        )
+        for scenario in names:
+            samples = recovery.get(scenario, [])
             entry: Dict[str, Any] = {
                 "runs": sum(o.scenario == scenario for o in self.outcomes),
+                "failed_runs": sum(
+                    f.scenario == scenario for f in self.failures
+                ),
                 "violations": sum(
                     len(o.violations) for o in self.outcomes if o.scenario == scenario
                 ),
                 "recoveries": len(samples),
             }
-            if samples:
+            pct = percentiles(samples, PERCENTILES_FIG8)
+            if pct:
                 entry["recovery_us_percentiles"] = {
-                    f"p{int(q)}": round(v, 3)
-                    for q, v in percentiles(samples, PERCENTILES_FIG8).items()
+                    f"p{int(q)}": round(v, 3) for q, v in pct.items()
                 }
-            proto = protocol.get(scenario, [])
-            if proto:
+            proto_pct = percentiles(protocol.get(scenario, []), PERCENTILES_FIG8)
+            if proto_pct:
                 entry["protocol_us_percentiles"] = {
-                    f"p{int(q)}": round(v, 3)
-                    for q, v in percentiles(proto, PERCENTILES_FIG8).items()
+                    f"p{int(q)}": round(v, 3) for q, v in proto_pct.items()
                 }
             per_scenario[scenario] = entry
         return {
             "campaign": {
-                "runs": len(self.outcomes),
+                "runs": len(self.outcomes) + len(self.failures),
+                "completed": len(self.outcomes),
+                "failed_runs": len(self.failures),
+                "infra_failures": len(self.infra_failures),
                 "violations": self.total_violations,
                 "ok": self.ok,
             },
@@ -390,7 +420,79 @@ class CampaignReport:
                 for outcome in self.outcomes
                 for violation in outcome.violations
             ],
+            "failures": [failure.as_dict() for failure in self.failures],
+            "infra_failures": [
+                failure.as_dict() for failure in self.infra_failures
+            ],
         }
+
+
+# --- parallel fan-out (repro.parallel, DESIGN.md §11) -------------------
+
+#: Per-process reference-run cache: one clean run per (config, ref-seed)
+#: pair, computed lazily inside whichever process needs it. Fork-spawned
+#: workers inherit the parent's warm entries; the cache is deterministic
+#: (a reference run is a pure function of its key), so sharing it across
+#: campaigns in one process is safe.
+_REFERENCE_CACHE: Dict[Tuple[str, int], RunSnapshot] = {}
+
+
+def _cached_reference(spec: ScenarioSpec, ref_seed: int) -> RunSnapshot:
+    config_key = repr(sorted(spec.runtime_overrides.items()))
+    key = (config_key, ref_seed)
+    if key not in _REFERENCE_CACHE:
+        _REFERENCE_CACHE[key] = _reference_run(ref_seed, spec)
+    return _REFERENCE_CACHE[key]
+
+
+@dataclass
+class _CampaignItem:
+    """One (scenario, seed) work unit shipped to a pool worker."""
+
+    scenario: str
+    seed: int
+    ref_seed: int
+    detection: Optional[DetectionModel] = None
+    sanitize: bool = False
+
+    def __repr__(self) -> str:  # shows up in InfraFailure payload entries
+        return f"chaos:{self.scenario}/seed={self.seed}"
+
+
+def _campaign_work(
+    item: _CampaignItem,
+) -> Tuple[str, Union[ScenarioOutcome, RunFailure], Optional[Dict[str, Any]]]:
+    """Pool work function: run one item, never raise.
+
+    A run that raises becomes a ``("failure", RunFailure, report)``
+    record instead of aborting the campaign — the per-run isolation the
+    serial runner needs anyway and the pool requires (a raising work
+    function reads as an infra failure, which this is not).
+    """
+    spec = SCENARIOS[item.scenario]
+    sanitizer_report: Optional[Dict[str, Any]] = None
+    try:
+        reference = _cached_reference(spec, item.ref_seed)
+        if item.sanitize:
+            from repro.analysis.runtime import sanitized
+
+            with sanitized() as suite:
+                outcome = run_scenario(
+                    spec, item.seed, detection=item.detection, reference=reference
+                )
+                sanitizer_report = suite.report()
+        else:
+            outcome = run_scenario(
+                spec, item.seed, detection=item.detection, reference=reference
+            )
+        return ("outcome", outcome, sanitizer_report)
+    except Exception as exc:
+        failure = RunFailure(
+            scenario=item.scenario,
+            seed=item.seed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        return ("failure", failure, sanitizer_report)
 
 
 def run_campaign(
@@ -398,22 +500,57 @@ def run_campaign(
     scenario_names: Optional[Sequence[str]] = None,
     detection: Optional[DetectionModel] = None,
     progress: Optional[Callable[[ScenarioOutcome], None]] = None,
+    jobs: Union[int, str] = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    sanitize: bool = False,
 ) -> CampaignReport:
-    """Sweep ``seeds`` x the named scenarios (default: all)."""
+    """Sweep ``seeds`` x the named scenarios (default: all).
+
+    ``jobs`` fans the independent (scenario, seed) items across worker
+    processes via :class:`repro.parallel.CampaignPool`; the report —
+    and therefore the BENCH payload — is byte-identical for any job
+    count because results are merged in submission order (the serial
+    loop's order). A run that raises is recorded as a
+    :class:`~repro.parallel.RunFailure`; a worker that crashes or hangs
+    past ``timeout_s`` is recorded as an
+    :class:`~repro.parallel.InfraFailure`. Either makes the report not
+    ``ok`` without stopping the sweep.
+    """
     names = list(scenario_names or SCENARIOS)
-    report = CampaignReport()
-    references: Dict[str, RunSnapshot] = {}
-    for name in names:
-        spec = SCENARIOS[name]
-        # one reference per scenario config (see run_scenario docstring)
-        config_key = repr(sorted(spec.runtime_overrides.items()))
-        if config_key not in references:
-            references[config_key] = _reference_run(seeds[0] if seeds else 0, spec)
-        for seed in seeds:
-            outcome = run_scenario(
-                spec, seed, detection=detection, reference=references[config_key]
-            )
-            report.outcomes.append(outcome)
-            if progress is not None:
-                progress(outcome)
+    ref_seed = seeds[0] if len(seeds) else 0
+    items = [
+        _CampaignItem(
+            scenario=name,
+            seed=seed,
+            ref_seed=ref_seed,
+            detection=detection,
+            sanitize=sanitize,
+        )
+        for name in names
+        for seed in seeds
+    ]
+    pool = CampaignPool(jobs=jobs, timeout_s=timeout_s, retries=retries)
+
+    def on_result(result) -> None:
+        if progress is not None and result.value[0] == "outcome":
+            progress(result.value[1])
+
+    pooled = pool.map(_campaign_work, items, progress=on_result)
+
+    from repro.parallel import merge_sanitizer_reports
+
+    report = CampaignReport(
+        infra_failures=list(pooled.infra_failures),
+        pool_stats=pooled.stats(),
+        sanitizers=merge_sanitizer_reports(
+            result.value[2] for result in pooled.results
+        ),
+    )
+    for result in pooled.results:  # submission order == serial order
+        kind, payload, _sanitizer = result.value
+        if kind == "outcome":
+            report.outcomes.append(payload)
+        else:
+            report.failures.append(payload)
     return report

@@ -1,0 +1,91 @@
+"""Deterministic merge helpers shared by every campaign payload builder.
+
+The merge contract (DESIGN.md §11): a campaign payload built from a
+:class:`~repro.parallel.pool.PoolOutcome` must be **byte-identical** to
+the one the serial loop would have written, apart from ``meta`` fields
+that honestly describe the execution (``jobs``, ``wall_s``,
+``wall_s_serial_est``). The pool already returns results in submission
+order; this module adds the two remaining pieces — a canonical record
+for runs that raised (:class:`RunFailure`) and an order-independent
+reduction for worker-side sanitizer reports — plus the payload
+comparator the CI equivalence gate and the tests share.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "RunFailure",
+    "merge_sanitizer_reports",
+    "payloads_equal_modulo_meta",
+]
+
+
+@dataclass
+class RunFailure:
+    """A campaign run that raised instead of completing.
+
+    Distinct from an invariant violation (the run finished and was
+    wrong) and from an :class:`~repro.parallel.pool.InfraFailure` (the
+    worker executing it was lost). Campaign layers catch the exception,
+    record one of these, and keep the remaining seeds running.
+    """
+
+    scenario: str
+    seed: int
+    error: str  # "ExcType: message"
+    context: Dict[str, Any] = field(default_factory=dict)  # e.g. autoscale
+
+    def as_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "scenario": self.scenario,
+            "seed": self.seed,
+            "error": self.error,
+        }
+        for key in sorted(self.context):
+            out[key] = self.context[key]
+        return out
+
+
+def merge_sanitizer_reports(
+    reports: Iterable[Optional[Dict[str, Any]]],
+) -> Optional[Dict[str, Any]]:
+    """Fold per-run sanitizer counter dicts into one campaign report.
+
+    Counters sum; ``*_peak`` keys take the max (matching
+    ``SanitizerSuite.report`` semantics). The result is key-sorted so the
+    merged report is independent of completion order. Returns ``None``
+    when no run produced a report.
+    """
+    merged: Dict[str, Any] = {}
+    saw_any = False
+    for report in reports:
+        if report is None:
+            continue
+        saw_any = True
+        for key, value in report.items():
+            if not isinstance(value, (int, float)):
+                merged[key] = value
+            elif key.endswith("_peak"):
+                merged[key] = max(merged.get(key, 0), value)
+            else:
+                merged[key] = merged.get(key, 0) + value
+    if not saw_any:
+        return None
+    return {key: merged[key] for key in sorted(merged)}
+
+
+def payloads_equal_modulo_meta(
+    a: Dict[str, Any], b: Dict[str, Any]
+) -> Tuple[bool, List[str]]:
+    """Compare two BENCH payloads ignoring their ``meta`` blocks.
+
+    Returns ``(equal, diff_keys)`` where ``diff_keys`` names the
+    top-level keys that differ — enough for a CI gate to print something
+    actionable without dumping both payloads.
+    """
+    keys = (set(a) | set(b)) - {"meta"}
+    diffs = sorted(key for key in keys if a.get(key) != b.get(key))
+    return (not diffs, diffs)

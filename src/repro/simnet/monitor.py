@@ -106,9 +106,17 @@ def percentile(samples: Sequence[float], q: float) -> float:
 
 
 def percentiles(samples: Sequence[float], qs: Iterable[float] = PERCENTILES_FIG8) -> Dict[float, float]:
-    """Several percentiles at once, as a ``{q: value}`` dict."""
+    """Several percentiles at once, as a ``{q: value}`` dict.
+
+    An empty sample set yields ``{}`` rather than raising: campaign
+    payload builders aggregate whatever a scenario produced, and a
+    scenario whose every run crashed (or recorded zero recoveries) must
+    serialize as an empty distribution, not abort the report. A single
+    sample is its own value at every percentile (``np.percentile``
+    handles that natively).
+    """
     if len(samples) == 0:
-        raise ValueError("no samples")
+        return {}
     array = np.asarray(samples, dtype=float)
     return {float(q): float(np.percentile(array, q)) for q in qs}
 

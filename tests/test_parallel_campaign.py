@@ -1,0 +1,407 @@
+"""The parallel campaign fabric (``repro.parallel``, DESIGN.md §11).
+
+Covers the merge-determinism contract (parallel payloads byte-identical
+to serial), the failure taxonomy (invariant violation vs failed run vs
+infra failure), worker lifecycle (crash retry, per-run timeout), and the
+per-run exception isolation the serial runner gets from the same code
+path.
+
+Worker-crash and timeout tests use ``jobs>=2`` only: the crash helpers
+call ``os._exit`` / sleep forever, which must happen in a *worker*
+process, never inline in the pytest process. The pool prefers the
+``fork`` start method, so scenarios registered via ``monkeypatch`` are
+visible inside workers.
+"""
+
+from __future__ import annotations
+
+import json
+import multiprocessing
+import os
+import sys
+import time
+
+import pytest
+
+from repro.chaos.campaign import SCENARIOS, ScenarioSpec, run_campaign
+from repro.chaos.overload import aggregate_overload_payload, run_overload_campaign
+from repro.parallel import (
+    CampaignPool,
+    InfraFailure,
+    RunFailure,
+    merge_sanitizer_reports,
+    payloads_equal_modulo_meta,
+    resolve_jobs,
+)
+from repro.simnet.monitor import percentiles
+
+HAS_FORK = "fork" in multiprocessing.get_all_start_methods()
+needs_fork = pytest.mark.skipif(
+    not HAS_FORK, reason="worker-lifecycle tests need the fork start method"
+)
+
+
+# --- module-level work functions (must be picklable) ---------------------
+
+
+def _double(item):
+    return item * 2
+
+
+def _double_with_skew(item):
+    # Completion order deliberately differs from submission order: later
+    # items finish first. Exercises the submission-order merge.
+    time.sleep(0.02 * ((7 - item) % 4))
+    return item * 2
+
+
+def _exit_on_three(item):
+    if item == 3:
+        os._exit(17)  # simulated segfault/OOM-kill: no cleanup, no excepthook
+    return item * 2
+
+
+def _hang_on_one(item):
+    if item == 1:
+        time.sleep(60.0)
+    return item * 2
+
+
+def _raise_on_two(item):
+    if item == 2:
+        raise RuntimeError("boom")
+    return item * 2
+
+
+def _crashy_schedule(_seed):
+    os._exit(23)
+
+
+def _hung_schedule(_seed):
+    time.sleep(60.0)
+
+
+def _raising_schedule(_seed):
+    raise ValueError("synthetic scheduling bug")
+
+
+def _spec(name, build_schedule):
+    return ScenarioSpec(
+        name=name, description="test scenario", build_schedule=build_schedule
+    )
+
+
+# --- jobs resolution -----------------------------------------------------
+
+
+def test_resolve_jobs():
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs("3") == 3
+    assert resolve_jobs("auto") >= 1
+    assert resolve_jobs(None) == resolve_jobs("auto") == resolve_jobs(0)
+    with pytest.raises(ValueError):
+        resolve_jobs(-1)
+    with pytest.raises(ValueError):
+        resolve_jobs("-2")
+
+
+# --- pool mechanics ------------------------------------------------------
+
+
+def test_inline_map_preserves_order_and_walls():
+    pool = CampaignPool(jobs=1)
+    outcome = pool.map(_double, [5, 1, 9])
+    assert outcome.ok
+    assert outcome.values() == [10, 2, 18]
+    assert [r.index for r in outcome.results] == [0, 1, 2]
+    assert all(r.wall_s >= 0.0 for r in outcome.results)
+    stats = outcome.stats()
+    assert stats["jobs"] == 1
+    assert stats["infra_failures"] == 0
+
+
+@needs_fork
+def test_parallel_map_matches_inline():
+    serial = CampaignPool(jobs=1).map(_double, list(range(8)))
+    parallel = CampaignPool(jobs=4).map(_double, list(range(8)))
+    assert parallel.ok
+    assert parallel.values() == serial.values() == [i * 2 for i in range(8)]
+
+
+@needs_fork
+def test_merge_determinism_under_shuffled_completion():
+    # later-submitted items complete first; merged order must still be
+    # submission order, run after run
+    items = list(range(8))
+    reference = CampaignPool(jobs=1).map(_double, items).values()
+    for _ in range(2):
+        outcome = CampaignPool(jobs=4).map(_double_with_skew, items)
+        assert outcome.ok
+        assert outcome.values() == reference
+        assert [r.index for r in outcome.results] == items
+
+
+@needs_fork
+def test_worker_crash_is_retried_then_recorded():
+    pool = CampaignPool(jobs=2, retries=1)
+    outcome = pool.map(_exit_on_three, list(range(6)))
+    assert not outcome.ok
+    # every innocent item still completed, in submission order
+    assert [(r.index, r.value) for r in outcome.results] == [
+        (0, 0), (1, 2), (2, 4), (4, 8), (5, 10)
+    ]
+    (failure,) = outcome.infra_failures
+    assert isinstance(failure, InfraFailure)
+    assert failure.index == 3
+    assert failure.reason == "worker-crash"
+    assert failure.attempts == 2  # initial run + one retry, both crashed
+    assert outcome.stats()["infra_failures"] == 1
+
+
+@needs_fork
+def test_hung_worker_times_out_without_wedging_the_pool():
+    pool = CampaignPool(jobs=2, timeout_s=1.0)
+    start = time.perf_counter()
+    outcome = pool.map(_hang_on_one, list(range(4)))
+    wall = time.perf_counter() - start
+    assert not outcome.ok
+    assert [r.value for r in outcome.results] == [0, 4, 6]
+    (failure,) = outcome.infra_failures
+    assert failure.index == 1
+    assert failure.reason == "timeout"
+    # the worker-side alarm fires at ~1s; well before the 60s sleep and
+    # before the parent watchdog (2x + 5s)
+    assert wall < 30.0
+
+
+def test_work_function_exception_is_an_infra_failure_inline():
+    # campaign layers catch their own expected exceptions; one escaping
+    # to the pool is classified, recorded, and does not stop the sweep
+    outcome = CampaignPool(jobs=1).map(_raise_on_two, list(range(4)))
+    assert not outcome.ok
+    assert [r.value for r in outcome.results] == [0, 2, 6]
+    (failure,) = outcome.infra_failures
+    assert failure.reason == "worker-exception"
+    assert "boom" in failure.detail
+
+
+# --- merge helpers -------------------------------------------------------
+
+
+def test_merge_sanitizer_reports():
+    assert merge_sanitizer_reports([]) is None
+    assert merge_sanitizer_reports([None, None]) is None
+    merged = merge_sanitizer_reports(
+        [{"races": 2, "depth_peak": 5}, None, {"races": 1, "depth_peak": 9, "x": 1}]
+    )
+    assert merged == {"depth_peak": 9, "races": 3, "x": 1}
+    assert list(merged) == sorted(merged)  # key-sorted for payload stability
+
+
+def test_payloads_equal_modulo_meta():
+    a = {"campaign": {"runs": 2}, "meta": {"jobs": 1, "wall_s": 9.9}}
+    b = {"campaign": {"runs": 2}, "meta": {"jobs": 4, "wall_s": 0.1}}
+    equal, diff = payloads_equal_modulo_meta(a, b)
+    assert equal and diff == []
+    b["campaign"] = {"runs": 3}
+    equal, diff = payloads_equal_modulo_meta(a, b)
+    assert not equal and diff == ["campaign"]
+
+
+def test_run_failure_payload_shape():
+    failure = RunFailure(
+        scenario="s", seed=4, error="ValueError: x", context={"b": 1, "a": 2}
+    )
+    payload = failure.as_dict()
+    # context keys are flattened after the fixed fields, in sorted order,
+    # so the serialized failure list is stable across completion orders
+    assert list(payload) == ["scenario", "seed", "error", "a", "b"]
+    assert payload["a"] == 2 and payload["b"] == 1
+
+
+# --- percentiles hardening (all-crashed scenarios) -----------------------
+
+
+def test_percentiles_empty_and_single_sample():
+    assert percentiles([]) == {}
+    single = percentiles([42.0])
+    assert set(single) == {5.0, 25.0, 50.0, 75.0, 95.0}
+    assert all(v == 42.0 for v in single.values())
+
+
+# --- chaos campaign: serial/parallel payload equivalence -----------------
+
+
+@needs_fork
+def test_chaos_campaign_payload_byte_identical_across_jobs():
+    seeds = [0, 1]
+    serial = run_campaign(seeds, scenario_names=["nf-crash"], jobs=1)
+    parallel = run_campaign(seeds, scenario_names=["nf-crash"], jobs=4)
+    assert serial.ok and parallel.ok
+    a = json.dumps(serial.as_dict(), indent=2, sort_keys=True)
+    b = json.dumps(parallel.as_dict(), indent=2, sort_keys=True)
+    assert a == b  # byte-identical, not merely semantically equal
+    # but the meta fragment records how the work was actually executed
+    assert serial.pool_stats["jobs"] == 1
+    assert parallel.pool_stats["jobs"] == 4
+    assert parallel.pool_stats["wall_s_serial_est"] > 0
+
+
+@needs_fork
+def test_overload_campaign_payload_byte_identical_across_jobs():
+    seeds = [0]
+    kwargs = dict(scenario_names=["overload-burst"], sweep=False)
+    serial = run_overload_campaign(seeds, jobs=1, **kwargs)
+    parallel = run_overload_campaign(seeds, jobs=3, **kwargs)
+    a = json.dumps(aggregate_overload_payload(serial), sort_keys=True)
+    b = json.dumps(aggregate_overload_payload(parallel), sort_keys=True)
+    assert a == b
+
+
+# --- per-run exception isolation -----------------------------------------
+
+
+@pytest.mark.parametrize("jobs", [1, pytest.param(2, marks=needs_fork)])
+def test_per_run_exception_recorded_and_sweep_continues(monkeypatch, jobs):
+    monkeypatch.setitem(SCENARIOS, "raising", _spec("raising", _raising_schedule))
+    report = run_campaign(
+        [0, 1], scenario_names=["raising", "nf-crash"], jobs=jobs
+    )
+    assert not report.ok
+    # both raising seeds recorded as failed runs, both nf-crash seeds ran
+    assert [(f.scenario, f.seed) for f in report.failures] == [
+        ("raising", 0), ("raising", 1)
+    ]
+    assert all("synthetic scheduling bug" in f.error for f in report.failures)
+    assert [(o.scenario, o.seed) for o in report.outcomes] == [
+        ("nf-crash", 0), ("nf-crash", 1)
+    ]
+    assert not report.infra_failures  # a caught run failure is NOT infra
+    payload = report.as_dict()
+    assert payload["campaign"] == {
+        "runs": 4,
+        "completed": 2,
+        "failed_runs": 2,
+        "infra_failures": 0,
+        "violations": 0,
+        "ok": False,
+    }
+    # the all-failed scenario still gets a row: zero runs, zero
+    # recoveries, no percentile keys (percentiles([]) == {})
+    row = payload["scenarios"]["raising"]
+    assert row["runs"] == 0 and row["failed_runs"] == 2
+    assert row["recoveries"] == 0
+    assert "recovery_us_percentiles" not in row
+
+
+# --- worker loss through the campaign layer ------------------------------
+
+
+@needs_fork
+def test_campaign_worker_crash_becomes_infra_failure(monkeypatch):
+    monkeypatch.setitem(SCENARIOS, "crashy", _spec("crashy", _crashy_schedule))
+    report = run_campaign(
+        [0], scenario_names=["crashy", "nf-crash"], jobs=2, retries=1
+    )
+    assert not report.ok
+    (failure,) = report.infra_failures
+    assert failure.reason == "worker-crash"
+    assert "chaos:crashy/seed=0" in failure.item
+    assert not report.failures  # a lost worker is NOT a run failure
+    # the campaign finished: the innocent scenario still completed
+    assert [(o.scenario, o.seed) for o in report.outcomes] == [("nf-crash", 0)]
+    payload = report.as_dict()
+    assert payload["campaign"]["infra_failures"] == 1
+    assert payload["infra_failures"][0]["reason"] == "worker-crash"
+
+
+@needs_fork
+def test_campaign_hung_run_becomes_timeout_infra_failure(monkeypatch):
+    monkeypatch.setitem(SCENARIOS, "hung", _spec("hung", _hung_schedule))
+    report = run_campaign(
+        [0], scenario_names=["hung", "nf-crash"], jobs=2, timeout_s=2.0
+    )
+    assert not report.ok
+    (failure,) = report.infra_failures
+    assert failure.reason == "timeout"
+    assert [(o.scenario, o.seed) for o in report.outcomes] == [("nf-crash", 0)]
+
+
+# --- tool exit codes -----------------------------------------------------
+
+
+@pytest.fixture
+def chaos_tool():
+    tools_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "tools")
+    sys.path.insert(0, tools_dir)
+    try:
+        import chaos_campaign
+
+        yield chaos_campaign
+    finally:
+        sys.path.remove(tools_dir)
+
+
+def test_chaos_tool_green_run_exits_zero(chaos_tool, tmp_path):
+    out = tmp_path / "bench.json"
+    rc = chaos_tool.main(
+        ["--seeds", "1", "--scenarios", "nf-crash", "-o", str(out), "-q"]
+    )
+    assert rc == 0
+    payload = json.loads(out.read_text())
+    assert payload["campaign"]["ok"] is True
+    assert payload["meta"]["jobs"] == 1
+    assert payload["meta"]["wall_s_serial_est"] >= 0
+
+
+def test_chaos_tool_failed_run_exits_nonzero(chaos_tool, tmp_path, monkeypatch):
+    monkeypatch.setitem(SCENARIOS, "raising", _spec("raising", _raising_schedule))
+    out = tmp_path / "bench.json"
+    rc = chaos_tool.main(
+        ["--seeds", "1", "--scenarios", "raising", "nf-crash", "-o", str(out), "-q"]
+    )
+    assert rc == 1
+    payload = json.loads(out.read_text())
+    assert payload["campaign"]["ok"] is False
+    assert payload["campaign"]["failed_runs"] == 1
+    assert payload["failures"][0]["scenario"] == "raising"
+    # the payload was still written in full: the good scenario has a row
+    assert payload["scenarios"]["nf-crash"]["runs"] == 1
+
+
+@needs_fork
+def test_chaos_tool_worker_crash_exits_nonzero(chaos_tool, tmp_path, monkeypatch):
+    monkeypatch.setitem(SCENARIOS, "crashy", _spec("crashy", _crashy_schedule))
+    out = tmp_path / "bench.json"
+    rc = chaos_tool.main(
+        [
+            "--seeds", "1",
+            "--scenarios", "crashy", "nf-crash",
+            "--jobs", "2",
+            "--retries", "0",
+            "-o", str(out), "-q",
+        ]
+    )
+    assert rc == 1
+    payload = json.loads(out.read_text())
+    assert payload["campaign"]["ok"] is False
+    assert payload["campaign"]["infra_failures"] >= 1
+    assert any(
+        f["reason"] == "worker-crash" for f in payload["infra_failures"]
+    )
+
+
+@needs_fork
+def test_chaos_tool_serial_parallel_payloads_equal_modulo_meta(
+    chaos_tool, tmp_path
+):
+    serial_out = tmp_path / "serial.json"
+    parallel_out = tmp_path / "parallel.json"
+    base = ["--seeds", "2", "--scenarios", "nf-crash", "-q"]
+    assert chaos_tool.main(base + ["--jobs", "1", "-o", str(serial_out)]) == 0
+    assert chaos_tool.main(base + ["--jobs", "4", "-o", str(parallel_out)]) == 0
+    serial = json.loads(serial_out.read_text())
+    parallel = json.loads(parallel_out.read_text())
+    equal, diff = payloads_equal_modulo_meta(serial, parallel)
+    assert equal, f"serial vs parallel payloads differ in {diff}"
+    assert serial["meta"]["jobs"] == 1 and parallel["meta"]["jobs"] == 4

@@ -10,14 +10,20 @@ machine-readable report.
 
 Usage::
 
-    PYTHONPATH=src python tools/chaos_campaign.py --seeds 20
+    PYTHONPATH=src python tools/chaos_campaign.py --seeds 20 --jobs auto
     PYTHONPATH=src python tools/chaos_campaign.py --seeds 3 \
-        --scenarios nf-crash store-crash root-crash      # CI smoke
+        --scenarios nf-crash store-crash root-crash --jobs 2   # CI smoke
     PYTHONPATH=src python tools/chaos_campaign.py --seeds 5 \
         --detection-us 50 --detection-misses 2           # heartbeat detector
 
-Exit status is non-zero if any invariant was violated — this is the
-correctness gate the CI ``chaos-smoke`` job enforces.
+``--jobs N|auto`` fans the independent (scenario, seed) runs across
+worker processes (``repro.parallel``, DESIGN.md §11); the payload is
+byte-identical to the serial run for any job count, modulo the ``meta``
+wall-clock/jobs fields.
+
+Exit status is non-zero if any invariant was violated, any run raised,
+or any worker was lost — this is the correctness gate the CI
+``chaos-smoke`` job enforces.
 """
 
 from __future__ import annotations
@@ -29,20 +35,24 @@ import platform
 import sys
 import time
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+import _bootstrap
+
+_bootstrap.ensure_repro_importable()
+
+REPO_ROOT = _bootstrap.REPO_ROOT
 
 
 def render(payload: dict) -> str:
     lines = [
         "chaos campaign (times in simulated microseconds)",
-        f"{'scenario':<16} {'runs':>5} {'recov':>6} {'viol':>5}"
+        f"{'scenario':<16} {'runs':>5} {'fail':>5} {'recov':>6} {'viol':>5}"
         f" {'p5':>8} {'p50':>8} {'p95':>8}",
     ]
     for name, row in payload["scenarios"].items():
         pct = row.get("recovery_us_percentiles", {})
         lines.append(
-            f"{name:<16} {row['runs']:>5} {row['recoveries']:>6}"
+            f"{name:<16} {row['runs']:>5} {row.get('failed_runs', 0):>5}"
+            f" {row['recoveries']:>6}"
             f" {row['violations']:>5}"
             f" {pct.get('p5', '-'):>8} {pct.get('p50', '-'):>8}"
             f" {pct.get('p95', '-'):>8}"
@@ -89,6 +99,26 @@ def main(argv=None) -> int:
         help="run with the runtime sanitizer suite installed (ownership races,"
         " clock monotonicity, backpressure deadlock cycles raise loudly)",
     )
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        help="worker processes for the seed x scenario fan-out"
+        " ('auto' = cpu count; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-run wall budget in seconds; a hung run is recorded as an"
+        " infra failure instead of wedging the campaign",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="requeue budget for runs lost to a worker crash (default 1)",
+    )
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be >= 1")
@@ -105,27 +135,18 @@ def main(argv=None) -> int:
         mark = "ok" if outcome.ok else f"{len(outcome.violations)} VIOLATIONS"
         print(f"  {outcome.scenario:<16} seed={outcome.seed:<3} {mark}", flush=True)
 
-    t0 = time.time()
-    sanitizer_report = None
-    if args.sanitize:
-        from repro.analysis.runtime import sanitized
-
-        with sanitized() as suite:
-            report = run_campaign(
-                range(args.seeds),
-                scenario_names=args.scenarios,
-                detection=detection,
-                progress=progress,
-            )
-            sanitizer_report = suite.report()
-    else:
-        report = run_campaign(
-            range(args.seeds),
-            scenario_names=args.scenarios,
-            detection=detection,
-            progress=progress,
-        )
-    wall_s = time.time() - t0
+    t0 = time.perf_counter()
+    report = run_campaign(
+        range(args.seeds),
+        scenario_names=args.scenarios,
+        detection=detection,
+        progress=progress,
+        jobs=args.jobs,
+        timeout_s=args.run_timeout,
+        retries=args.retries,
+        sanitize=args.sanitize,
+    )
+    wall_s = time.perf_counter() - t0
 
     payload = report.as_dict()
     payload["meta"] = {
@@ -138,20 +159,37 @@ def main(argv=None) -> int:
         "python": platform.python_version(),
         "platform": platform.platform(),
     }
-    if sanitizer_report is not None:
-        payload["meta"]["sanitizers"] = sanitizer_report
+    if report.pool_stats is not None:
+        payload["meta"]["jobs"] = report.pool_stats["jobs"]
+        payload["meta"]["wall_s_serial_est"] = report.pool_stats[
+            "wall_s_serial_est"
+        ]
+    if report.sanitizers is not None:
+        payload["meta"]["sanitizers"] = report.sanitizers
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
 
     print(render(payload))
-    print(f"\nwrote {args.output} ({len(report.outcomes)} runs, {wall_s:.1f}s)")
+    attempted = len(report.outcomes) + len(report.failures)
+    print(f"\nwrote {args.output} ({attempted} runs, {wall_s:.1f}s)")
     if not report.ok:
-        print(
-            f"INVARIANT VIOLATIONS: {report.total_violations}", file=sys.stderr
-        )
-        for violation in payload["violations"]:
-            print(f"  {violation}", file=sys.stderr)
+        if report.total_violations:
+            print(
+                f"INVARIANT VIOLATIONS: {report.total_violations}", file=sys.stderr
+            )
+            for violation in payload["violations"]:
+                print(f"  {violation}", file=sys.stderr)
+        if report.failures:
+            print(f"FAILED RUNS: {len(report.failures)}", file=sys.stderr)
+            for failure in payload["failures"]:
+                print(f"  {failure}", file=sys.stderr)
+        if report.infra_failures:
+            print(
+                f"INFRA FAILURES: {len(report.infra_failures)}", file=sys.stderr
+            )
+            for failure in payload["infra_failures"]:
+                print(f"  {failure}", file=sys.stderr)
         return 1
     print("all invariants held")
     return 0

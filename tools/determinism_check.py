@@ -14,23 +14,28 @@ Usage::
 
     python tools/determinism_check.py                    # defaults
     python tools/determinism_check.py --seeds 2 --runs 2 \
-        --chaos nf-crash --overload overload-burst       # CI smoke
+        --chaos nf-crash --overload overload-burst --jobs 2   # CI smoke
     python tools/determinism_check.py --chaos lossy-link --sanitize
 
-Exit status is non-zero on any digest mismatch.
+``--jobs N|auto`` fans the independent (scenario, seed) cases across
+worker processes (``repro.parallel``, DESIGN.md §11); the ``runs``
+same-seed executions of one case stay inside one worker.
+
+Exit status is non-zero on any digest mismatch, failed case, or lost
+worker.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
-import os
 import platform
 import sys
 import time
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+import _bootstrap
+
+_bootstrap.ensure_repro_importable()
 
 
 def render(report: dict) -> str:
@@ -40,11 +45,12 @@ def render(report: dict) -> str:
     ]
     for case in report["cases"]:
         verdict = "ok" if case["ok"] else "MISMATCH"
-        shown = (
-            case["digests"][0][:16]
-            if case["ok"]
-            else " / ".join(d[:8] for d in case["digests"])
-        )
+        if case.get("error"):
+            verdict, shown = "ERROR", case["error"]
+        elif case["ok"]:
+            shown = case["digests"][0][:16]
+        else:
+            shown = " / ".join(d[:8] for d in case["digests"])
         lines.append(
             f"{case['kind'] + ':' + case['scenario']:<26} {case['seed']:>5} "
             f"{len(case['digests']):>5} {verdict:>9}  {shown}"
@@ -87,10 +93,30 @@ def main(argv=None) -> int:
         help="also run the declarative chain with batching off vs on per "
         "seed and require identical per-flow egress and state",
     )
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        help="worker processes for the case fan-out"
+        " ('auto' = cpu count; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-case wall budget in seconds; a hung case is recorded as an"
+        " infra failure instead of wedging the check",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="requeue budget for cases lost to a worker crash (default 1)",
+    )
     parser.add_argument("-o", "--output", default="BENCH_determinism.json")
     args = parser.parse_args(argv)
 
-    started = time.time()
+    started = time.perf_counter()
     seeds = list(range(args.seeds))
 
     def progress(case: dict) -> None:
@@ -107,6 +133,9 @@ def main(argv=None) -> int:
         overload=args.overload,
         sanitize=args.sanitize,
         progress=progress,
+        jobs=args.jobs,
+        timeout_s=args.run_timeout,
+        retries=args.retries,
     )
     equivalence = None
     if args.fastpath_equivalence:
@@ -120,7 +149,13 @@ def main(argv=None) -> int:
                 flush=True,
             )
 
-        equivalence = check_fastpath_equivalence(seeds, progress=fp_progress)
+        equivalence = check_fastpath_equivalence(
+            seeds,
+            progress=fp_progress,
+            jobs=args.jobs,
+            timeout_s=args.run_timeout,
+            retries=args.retries,
+        )
     payload = {
         "bench": "determinism",
         "config": {
@@ -132,7 +167,11 @@ def main(argv=None) -> int:
             "fastpath_equivalence": args.fastpath_equivalence,
         },
         "host": {"python": platform.python_version(), "machine": platform.machine()},
-        "wall_s": round(time.time() - started, 2),
+        "wall_s": round(time.perf_counter() - started, 2),
+        "meta": {
+            "jobs": report.get("pool", {}).get("jobs"),
+            "wall_s_serial_est": report.get("pool", {}).get("wall_s_serial_est"),
+        },
         "report": report,
         "fastpath_equivalence": equivalence,
     }
@@ -148,8 +187,15 @@ def main(argv=None) -> int:
     print(f"wrote {args.output} ({payload['wall_s']}s)")
     failed = not report["ok"] or (equivalence is not None and not equivalence["ok"])
     if failed:
-        if not report["ok"]:
+        if report["mismatches"]:
             print(f"FAIL: {len(report['mismatches'])} same-seed digest mismatch(es)")
+        if report.get("infra_failures"):
+            print(
+                f"FAIL: {len(report['infra_failures'])} infra failure(s) "
+                "(worker crash/timeout)"
+            )
+            for failure in report["infra_failures"]:
+                print(f"  {failure}")
         if equivalence is not None and not equivalence["ok"]:
             print(
                 "FAIL: fastpath equivalence mismatch on seed(s) "

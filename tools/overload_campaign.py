@@ -15,12 +15,18 @@ Two parts:
 
 Usage::
 
-    PYTHONPATH=src python tools/overload_campaign.py --seeds 10
+    PYTHONPATH=src python tools/overload_campaign.py --seeds 10 --jobs auto
     PYTHONPATH=src python tools/overload_campaign.py --seeds 3 \
-        --scenarios overload-burst --no-sweep             # CI smoke
+        --scenarios overload-burst --no-sweep --jobs 2    # CI smoke
 
-Exit status is non-zero if any invariant was violated — the correctness
-gate the CI ``overload-smoke`` job enforces.
+``--jobs N|auto`` fans the independent runs and knee points across
+worker processes (``repro.parallel``, DESIGN.md §11); the payload is
+byte-identical to the serial run for any job count, modulo the ``meta``
+wall-clock/jobs fields.
+
+Exit status is non-zero if any invariant was violated, any run raised,
+or any worker was lost — the correctness gate the CI ``overload-smoke``
+job enforces.
 """
 
 from __future__ import annotations
@@ -32,24 +38,29 @@ import platform
 import sys
 import time
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+import _bootstrap
 
-SWEEP_MULTIPLIERS = (0.6, 1.0, 1.4, 2.0)
+_bootstrap.ensure_repro_importable()
+
+REPO_ROOT = _bootstrap.REPO_ROOT
 
 
 def render(payload: dict) -> str:
     lines = [
         "overload campaign (times in simulated microseconds)",
-        f"{'scenario':<16} {'auto':<5} {'runs':>5} {'viol':>5}"
+        f"{'scenario':<16} {'auto':<5} {'runs':>5} {'fail':>5} {'viol':>5}"
         f" {'goodput':>8} {'shed':>7} {'p95':>9}",
     ]
     for key, row in payload["scenarios"].items():
+        goodput = row["goodput_ratio_mean"]
+        shed = row["shed_rate_mean"]
         lines.append(
             f"{row['scenario']:<16} {str(row['autoscale']).lower():<5}"
-            f" {row['runs']:>5} {row['violations']:>5}"
-            f" {row['goodput_ratio_mean']:>8} {row['shed_rate_mean']:>7}"
-            f" {row.get('sojourn_p95_us_mean', '-'):>9}"
+            f" {row['runs']:>5} {row.get('failed_runs', 0):>5}"
+            f" {row['violations']:>5}"
+            f" {goodput if goodput is not None else '-':>8}"
+            f" {shed if shed is not None else '-':>7}"
+            f" {row.get('sojourn_p95_us_mean') or '-':>9}"
         )
     if payload.get("knee"):
         lines.append("")
@@ -70,8 +81,9 @@ def render(payload: dict) -> str:
 def main(argv=None) -> int:
     from repro.chaos.overload import (
         OVERLOAD_SCENARIOS,
-        measure_load_point,
-        run_overload_scenario,
+        SWEEP_MULTIPLIERS,
+        aggregate_overload_payload,
+        run_overload_campaign,
     )
 
     parser = argparse.ArgumentParser(description=__doc__)
@@ -103,132 +115,104 @@ def main(argv=None) -> int:
         help="run with the runtime sanitizer suite installed (ownership races,"
         " clock monotonicity, backpressure deadlock cycles raise loudly)",
     )
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        help="worker processes for the run/knee fan-out"
+        " ('auto' = cpu count; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-run wall budget in seconds; a hung run is recorded as an"
+        " infra failure instead of wedging the campaign",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="requeue budget for runs lost to a worker crash (default 1)",
+    )
     args = parser.parse_args(argv)
     if args.seeds < 1:
         parser.error("--seeds must be >= 1")
 
-    sanitizer_cm = None
-    sanitizer_suite = None
-    if args.sanitize:
-        from repro.analysis.runtime import sanitized
+    def progress(kind, value) -> None:
+        if args.quiet:
+            return
+        if kind == "run":
+            mark = "ok" if value.ok else f"{len(value.violations)} VIOLATIONS"
+            print(
+                f"  {value.scenario:<16} auto={str(value.autoscale).lower():<5}"
+                f" seed={value.seed:<3} goodput={value.goodput_ratio:.3f}"
+                f" {mark}",
+                flush=True,
+            )
+        else:
+            print(
+                f"  knee x{value['multiplier']}"
+                f" auto={str(value['autoscale']).lower():<5}"
+                f" goodput={value['goodput_ratio']}",
+                flush=True,
+            )
 
-        sanitizer_cm = sanitized()
-        sanitizer_suite = sanitizer_cm.__enter__()
-
-    names = args.scenarios or sorted(OVERLOAD_SCENARIOS)
-    t0 = time.time()
-    outcomes = []
-    for name in names:
-        spec = OVERLOAD_SCENARIOS[name]
-        for autoscale in (False, True):
-            for seed in range(args.seeds):
-                outcome = run_overload_scenario(spec, seed, autoscale=autoscale)
-                outcomes.append(outcome)
-                if not args.quiet:
-                    mark = "ok" if outcome.ok else (
-                        f"{len(outcome.violations)} VIOLATIONS"
-                    )
-                    print(
-                        f"  {name:<16} auto={str(autoscale).lower():<5}"
-                        f" seed={seed:<3} goodput={outcome.goodput_ratio:.3f}"
-                        f" {mark}",
-                        flush=True,
-                    )
-
-    knee = []
-    if not args.no_sweep:
-        for multiplier in SWEEP_MULTIPLIERS:
-            for autoscale in (False, True):
-                knee.append(measure_load_point(multiplier, autoscale, seed=0))
-                if not args.quiet:
-                    point = knee[-1]
-                    print(
-                        f"  knee x{multiplier} auto={str(autoscale).lower():<5}"
-                        f" goodput={point['goodput_ratio']}",
-                        flush=True,
-                    )
-    wall_s = time.time() - t0
-    sanitizer_report = None
-    if sanitizer_cm is not None:
-        sanitizer_report = sanitizer_suite.report()
-        sanitizer_cm.__exit__(None, None, None)
-
-    def _mean(values):
-        values = [v for v in values if v is not None]
-        return round(sum(values) / len(values), 4) if values else None
-
-    per_group: dict = {}
-    for outcome in outcomes:
-        key = f"{outcome.scenario}/auto={str(outcome.autoscale).lower()}"
-        per_group.setdefault(key, []).append(outcome)
-    scenarios_payload = {}
-    for key, group in sorted(per_group.items()):
-        scenarios_payload[key] = {
-            "scenario": group[0].scenario,
-            "autoscale": group[0].autoscale,
-            "runs": len(group),
-            "violations": sum(len(o.violations) for o in group),
-            "goodput_ratio_mean": _mean([o.goodput_ratio for o in group]),
-            "shed_rate_mean": _mean(
-                [
-                    (sum(o.sheds.values()) / o.injected) if o.injected else 0.0
-                    for o in group
-                ]
-            ),
-            "sojourn_p50_us_mean": _mean([o.sojourn_p50_us for o in group]),
-            "sojourn_p95_us_mean": _mean([o.sojourn_p95_us for o in group]),
-            "stale_reads_total": sum(o.stale_reads for o in group),
-            "breaker_opens_total": sum(o.breaker_opens for o in group),
-            "store_overload_rejections_total": sum(
-                o.store_overload_rejections for o in group
-            ),
-            "scale_outs_total": sum(
-                o.autoscaler["scale_outs"] for o in group if o.autoscaler
-            ),
-            "scale_ins_total": sum(
-                o.autoscaler["scale_ins"] for o in group if o.autoscaler
-            ),
-        }
-
-    total_violations = sum(len(o.violations) for o in outcomes) + sum(
-        len(point["violations"]) for point in knee
+    t0 = time.perf_counter()
+    result = run_overload_campaign(
+        range(args.seeds),
+        scenario_names=args.scenarios,
+        sweep=not args.no_sweep,
+        progress=progress,
+        jobs=args.jobs,
+        timeout_s=args.run_timeout,
+        retries=args.retries,
+        sanitize=args.sanitize,
     )
-    payload = {
-        "campaign": {
-            "runs": len(outcomes),
-            "violations": total_violations,
-            "ok": total_violations == 0,
-        },
-        "scenarios": scenarios_payload,
-        "knee": knee,
-        "violations": [
-            {"scenario": o.scenario, "seed": o.seed, "autoscale": o.autoscale,
-             **v.as_dict()}
-            for o in outcomes
-            for v in o.violations
-        ],
-        "meta": {
-            "benchmark": "overload_campaign",
-            "seeds": args.seeds,
-            "scenarios": names,
-            "sweep_multipliers": [] if args.no_sweep else list(SWEEP_MULTIPLIERS),
-            "wall_s": round(wall_s, 1),
-            "python": platform.python_version(),
-            "platform": platform.platform(),
-        },
+    wall_s = time.perf_counter() - t0
+
+    payload = aggregate_overload_payload(result)
+    payload["meta"] = {
+        "benchmark": "overload_campaign",
+        "seeds": args.seeds,
+        "scenarios": args.scenarios or sorted(OVERLOAD_SCENARIOS),
+        "sweep_multipliers": [] if args.no_sweep else list(SWEEP_MULTIPLIERS),
+        "wall_s": round(wall_s, 1),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
     }
-    if sanitizer_report is not None:
-        payload["meta"]["sanitizers"] = sanitizer_report
+    if result.pool_stats is not None:
+        payload["meta"]["jobs"] = result.pool_stats["jobs"]
+        payload["meta"]["wall_s_serial_est"] = result.pool_stats[
+            "wall_s_serial_est"
+        ]
+    if result.sanitizers is not None:
+        payload["meta"]["sanitizers"] = result.sanitizers
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
 
     print(render(payload))
-    print(f"\nwrote {args.output} ({len(outcomes)} runs, {wall_s:.1f}s)")
-    if total_violations:
-        print(f"INVARIANT VIOLATIONS: {total_violations}", file=sys.stderr)
-        for violation in payload["violations"]:
-            print(f"  {violation}", file=sys.stderr)
+    attempted = len(result.outcomes) + len(result.failures)
+    print(f"\nwrote {args.output} ({attempted} runs, {wall_s:.1f}s)")
+    if not result.ok:
+        if result.total_violations:
+            print(
+                f"INVARIANT VIOLATIONS: {result.total_violations}",
+                file=sys.stderr,
+            )
+            for violation in payload["violations"]:
+                print(f"  {violation}", file=sys.stderr)
+        if result.failures:
+            print(f"FAILED RUNS: {len(result.failures)}", file=sys.stderr)
+            for failure in payload["failures"]:
+                print(f"  {failure}", file=sys.stderr)
+        if result.infra_failures:
+            print(
+                f"INFRA FAILURES: {len(result.infra_failures)}", file=sys.stderr
+            )
+            for failure in payload["infra_failures"]:
+                print(f"  {failure}", file=sys.stderr)
         return 1
     print("all invariants held")
     return 0

@@ -35,9 +35,12 @@ import os
 import platform
 import sys
 
-REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
-sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
-sys.path.insert(0, os.path.join(REPO_ROOT, "benchmarks"))
+import _bootstrap
+
+_bootstrap.ensure_repro_importable()
+_bootstrap.ensure_benchmarks_importable()
+
+REPO_ROOT = _bootstrap.REPO_ROOT
 
 ACCEPTANCE = {"channel_churn": 2.0, "timer_storm": 2.0, "chain_pipeline": 2.0}
 
@@ -47,14 +50,17 @@ QUICK_TOLERANCE = 0.20
 QUICK_KWARGS = dict(packets=600, flows=50)
 
 
-def build_payload(smoke: bool, repeats: int) -> dict:
+def build_payload(smoke: bool, repeats: int, jobs: str = "1") -> dict:
     from bench_engine_micro import run_comparison
 
-    payload = run_comparison(smoke=smoke, repeats=repeats)
+    from repro.parallel import resolve_jobs
+
+    payload = run_comparison(smoke=smoke, repeats=repeats, jobs=jobs)
     payload["meta"] = {
         "benchmark": "bench_engine_micro",
         "mode": "smoke" if smoke else "full",
         "repeats": repeats,
+        "jobs": resolve_jobs(jobs),
         "python": platform.python_version(),
         "platform": platform.platform(),
         "acceptance": {name: f">={bar}x" for name, bar in ACCEPTANCE.items()},
@@ -130,6 +136,14 @@ def main(argv=None) -> int:
         help="CI perf-smoke: chain_pipeline only, gated vs committed baseline",
     )
     parser.add_argument(
+        "--jobs",
+        default="1",
+        help="worker processes for the scenario sweep ('auto' = cpu count)."
+        " Ratios stay same-process comparisons, but raw wall seconds pick"
+        " up scheduling noise: use >1 for sweep breadth, 1 for the"
+        " committed headline numbers",
+    )
+    parser.add_argument(
         "-o",
         "--output",
         default=os.path.join(REPO_ROOT, "BENCH_engine.json"),
@@ -142,7 +156,7 @@ def main(argv=None) -> int:
     if args.quick:
         return run_quick(args.repeats, args.output)
 
-    payload = build_payload(args.smoke, args.repeats)
+    payload = build_payload(args.smoke, args.repeats, jobs=args.jobs)
     with open(args.output, "w") as fh:
         json.dump(payload, fh, indent=2)
         fh.write("\n")
