@@ -39,6 +39,16 @@ CHC006 Declarative NF (``repro/nfs/``) breaking its match-action
        and cache bracketing from the declared table set, so an
        undeclared access would execute against unjournaled state and
        slip past the batching on/off equivalence guarantee.
+CHC007 Splitter membership / instance retirement mutated outside the
+       sanctioned control-plane modules: assigning to or calling
+       mutating methods on ``.hash_members``, or calling
+       ``.retire_instance(...)``, anywhere but the splitter itself, the
+       autoscaler, the chain runtime, recovery, or the maintenance
+       director (``repro/ops``). ``hash_members`` is a *stable* list —
+       poking it mid-traffic silently remaps flow partitions without a
+       Figure-4 handover (state loss), and retiring an instance that
+       has not been drained through the director APIs strands owned
+       state.
 ====== =================================================================
 
 Suppression: append ``# chclint: disable=CHC003`` (comma-separate for
@@ -69,6 +79,7 @@ ALL_RULES: Dict[str, str] = {
     "CHC004": "id(obj) used as a persisted key",
     "CHC005": "NF state write bypassing the store API",
     "CHC006": "declarative NF touching state outside its declared match-action tables",
+    "CHC007": "splitter membership or retirement mutated outside director/autoscaler APIs",
 }
 
 #: Path fragments whose files may read the wall clock (CHC002 exempt):
@@ -76,6 +87,32 @@ ALL_RULES: Dict[str, str] = {
 #: fabric (``repro/parallel`` — worker timeouts and per-run wall
 #: accounting are host-side measurements, never simulation clocks).
 WALL_CLOCK_EXEMPT_PARTS = ("tools", "benchmarks", "bench", "parallel")
+
+#: Modules sanctioned to mutate splitter membership / retire instances
+#: (CHC007 exempt): the splitter's own implementation, the control-plane
+#: layers that drive Figure-4 handovers (autoscaler, chain runtime,
+#: recovery), and the maintenance director package (``repro/ops``).
+MEMBERSHIP_EXEMPT_FILES = {
+    "splitter.py",
+    "autoscaler.py",
+    "chain_runtime.py",
+    "recovery.py",
+}
+MEMBERSHIP_EXEMPT_PARTS = ("ops",)
+
+#: List-mutating method names: calling any of these on ``.hash_members``
+#: rewrites the stable hash partition in place.
+MUTATING_LIST_METHODS = {
+    "append",
+    "extend",
+    "insert",
+    "remove",
+    "pop",
+    "clear",
+    "sort",
+    "reverse",
+    "__setitem__",
+}
 
 WALL_CLOCK_TIME_ATTRS = {
     "time",
@@ -166,6 +203,8 @@ def _exempt_codes(path: Path) -> Set[str]:
     if "nfs" not in parts:
         exempt.add("CHC005")
         exempt.add("CHC006")
+    if path.name in MEMBERSHIP_EXEMPT_FILES or parts & set(MEMBERSHIP_EXEMPT_PARTS):
+        exempt.add("CHC007")
     return exempt
 
 
@@ -342,6 +381,28 @@ class _Checker(ast.NodeVisitor):
                 f".{func.attr}(id(...)) persists an object id as a key; ids are "
                 "reused after GC — key on a monotonic id field instead",
             )
+        # CHC007: .hash_members.<mutator>(...) and .retire_instance(...)
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in MUTATING_LIST_METHODS
+            and isinstance(func.value, ast.Attribute)
+            and func.value.attr == "hash_members"
+        ):
+            self.report(
+                node,
+                "CHC007",
+                f".hash_members.{func.attr}(...) rewrites the stable hash "
+                "partition in place — membership changes must go through "
+                "Splitter.replace_instance / the director and autoscaler APIs",
+            )
+        if isinstance(func, ast.Attribute) and func.attr == "retire_instance":
+            self.report(
+                node,
+                "CHC007",
+                ".retire_instance(...) called directly — retirement must go "
+                "through the maintenance director or autoscaler, which drain "
+                "owned state via the Figure-4 handover first",
+            )
         self.generic_visit(node)
 
     # CHC001: attribute access on numpy's `random` submodule. Seeded
@@ -472,11 +533,46 @@ class _Checker(ast.NodeVisitor):
                         return node
         return None
 
+    def _check_chc007_assign(self, targets: Iterable[ast.AST], node: ast.AST) -> None:
+        if "CHC007" in self.disabled:
+            return
+        for target in targets:
+            is_direct = isinstance(target, ast.Attribute) and target.attr == "hash_members"
+            is_item = (
+                isinstance(target, ast.Subscript)
+                and isinstance(target.value, ast.Attribute)
+                and target.value.attr == "hash_members"
+            )
+            if is_direct or is_item:
+                self.report(
+                    node,
+                    "CHC007",
+                    "assignment to .hash_members rewrites the stable hash "
+                    "partition — membership changes must go through "
+                    "Splitter.replace_instance / the director and autoscaler "
+                    "APIs",
+                )
+
+    def visit_Delete(self, node: ast.Delete) -> None:
+        if "CHC007" not in self.disabled:
+            for target in node.targets:
+                inner = target.value if isinstance(target, ast.Subscript) else target
+                if isinstance(inner, ast.Attribute) and inner.attr == "hash_members":
+                    self.report(
+                        node,
+                        "CHC007",
+                        "del on .hash_members rewrites the stable hash "
+                        "partition — membership changes must go through the "
+                        "director and autoscaler APIs",
+                    )
+        self.generic_visit(node)
+
     def visit_Assign(self, node: ast.Assign) -> None:
         for target in node.targets:
             self._note_assignment(target, node.value)
         self.generic_visit(node)
         self._check_chc005_assign(node.targets, node)
+        self._check_chc007_assign(node.targets, node)
 
     def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
         if self._annotation_is_set(node.annotation) and isinstance(node.target, ast.Name):
@@ -492,10 +588,12 @@ class _Checker(ast.NodeVisitor):
             self._note_assignment(node.target, node.value)
         self.generic_visit(node)
         self._check_chc005_assign([node.target], node)
+        self._check_chc007_assign([node.target], node)
 
     def visit_AugAssign(self, node: ast.AugAssign) -> None:
         self.generic_visit(node)
         self._check_chc005_assign([node.target], node)
+        self._check_chc007_assign([node.target], node)
 
     def visit_For(self, node: ast.For) -> None:
         self._check_iteration(node.iter, node.body, node)

@@ -64,11 +64,14 @@ class OwnershipSanitizer:
     def reset(self) -> None:
         # key -> (writer instance, epoch at time of write)
         self._writers: Dict[str, Tuple[str, int]] = {}
+        # key -> (client-side cache writer, epoch at time of write)
+        self._cache_writers: Dict[str, Tuple[str, int]] = {}
         # key -> current handover epoch (bumped by every transfer)
         self._epochs: Dict[str, int] = {}
         # clone -> original (clones legitimately co-write the original's keys)
         self._clone_of: Dict[str, str] = {}
         self.writes_checked = 0
+        self.cache_writes_checked = 0
         self.transfers_seen = 0
         self.rejects_seen = 0
 
@@ -118,6 +121,35 @@ class OwnershipSanitizer:
             )
         self._writers[key] = (instance, epoch)
 
+    def note_cache_write(self, key: str, instance: str) -> None:
+        """``instance`` populated its client-side cache for ``key``.
+
+        Two clients caching the same per-flow key inside one handover
+        epoch means both believe they own the flow: the next local apply
+        on either side silently diverges from the store. A planned
+        re-home (rolling upgrade, store replacement) is exactly when this
+        window opens, so cache fills are checked with the same
+        epoch/clone discipline as store applies.
+        """
+        if not instance or self._is_shared(key):
+            return
+        self.cache_writes_checked += 1
+        epoch = self._epochs.get(key, 0)
+        previous = self._cache_writers.get(key)
+        if (
+            previous is not None
+            and previous[1] == epoch
+            and not self._same_party(previous[0], instance)
+        ):
+            raise OwnershipRaceError(
+                f"client cache co-write on per-flow key "
+                f"{key.replace(KEY_SEP, '/')!r}: instance {instance!r} cached "
+                f"it after {previous[0]!r} with no ownership transfer in "
+                f"between (handover epoch {epoch}) — both clients would apply "
+                "locally against diverging copies"
+            )
+        self._cache_writers[key] = (instance, epoch)
+
 
 class ClockSanitizer:
     """Logical clocks strictly increase per root, across failovers."""
@@ -156,7 +188,11 @@ class WaitGraph:
 
     def reset(self) -> None:
         self._edges: Dict[str, Dict[str, int]] = {}
+        # timed (soft) waits: a timeout breaks them, so they can never
+        # wedge the system — tracked for the report, excluded from cycles
+        self._soft_edges: Dict[str, Dict[str, int]] = {}
         self.edges_added = 0
+        self.soft_edges_added = 0
         self.max_outstanding = 0
 
     def _path(self, start: str, goal: str) -> Optional[List[str]]:
@@ -178,7 +214,17 @@ class WaitGraph:
                 frontier.append(nxt)
         return None
 
-    def add(self, src: str, dst: str) -> None:
+    def add(self, src: str, dst: str, soft: bool = False) -> None:
+        if soft:
+            # A timed wait (RPC retransmission timer, bounded drain poll)
+            # is broken by its own timeout: a cycle through it resolves on
+            # its own, so reporting it as a deadlock would be a false
+            # positive — exactly what long planned-operation drains used
+            # to trip. Count it, keep it out of the reachability graph.
+            outgoing = self._soft_edges.setdefault(src, {})
+            outgoing[dst] = outgoing.get(dst, 0) + 1
+            self.soft_edges_added += 1
+            return
         back = self._path(dst, src)
         outgoing = self._edges.setdefault(src, {})
         outgoing[dst] = outgoing.get(dst, 0) + 1
@@ -191,14 +237,15 @@ class WaitGraph:
             cycle = [src] + back  # src -> dst -> ... -> src
             raise DeadlockError("backpressure deadlock: " + " -> ".join(cycle))
 
-    def remove(self, src: str, dst: str) -> None:
-        outgoing = self._edges.get(src)
+    def remove(self, src: str, dst: str, soft: bool = False) -> None:
+        table = self._soft_edges if soft else self._edges
+        outgoing = table.get(src)
         if not outgoing or dst not in outgoing:
             return  # reset() may have dropped the edge mid-wait
         if outgoing[dst] <= 1:
             del outgoing[dst]
             if not outgoing:
-                del self._edges[src]
+                del table[src]
         else:
             outgoing[dst] -= 1
 
@@ -219,12 +266,14 @@ class SanitizerSuite:
         out: Dict[str, int] = {}
         if self.ownership is not None:
             out["writes_checked"] = self.ownership.writes_checked
+            out["cache_writes_checked"] = self.ownership.cache_writes_checked
             out["transfers_seen"] = self.ownership.transfers_seen
             out["rejects_seen"] = self.ownership.rejects_seen
         if self.clocks is not None:
             out["clocks_checked"] = self.clocks.clocks_checked
         if self.waits is not None:
             out["wait_edges_added"] = self.waits.edges_added
+            out["wait_soft_edges_added"] = self.waits.soft_edges_added
             out["wait_edges_peak"] = self.waits.max_outstanding
         return out
 
@@ -266,6 +315,11 @@ class SanitizerSuite:
             self.bind(sim)
             self.ownership.note_clone(original, clone, register)
 
+    def note_cache_write(self, sim, key: str, instance: str) -> None:
+        if self.ownership is not None:
+            self.bind(sim)
+            self.ownership.note_cache_write(key, instance)
+
     # ------------------------------------------------------------------
     # clock hook
     # ------------------------------------------------------------------
@@ -279,14 +333,14 @@ class SanitizerSuite:
     # wait-graph hooks
     # ------------------------------------------------------------------
 
-    def wait_edge(self, sim, src: str, dst: str) -> None:
+    def wait_edge(self, sim, src: str, dst: str, soft: bool = False) -> None:
         if self.waits is not None:
             self.bind(sim)
-            self.waits.add(src, dst)
+            self.waits.add(src, dst, soft=soft)
 
-    def release_edge(self, src: str, dst: str) -> None:
+    def release_edge(self, src: str, dst: str, soft: bool = False) -> None:
         if self.waits is not None:
-            self.waits.remove(src, dst)
+            self.waits.remove(src, dst, soft=soft)
 
     # ------------------------------------------------------------------
 

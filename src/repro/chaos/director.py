@@ -197,6 +197,11 @@ class ChaosDirector(FailureInjector):
         # failover creates a replacement, so any alive instance is fair game.
         if not candidates:
             return None
+        if action.newest:
+            # runtime.instances is insertion-ordered: the last matching
+            # candidate is the most recently spawned (e.g. an in-progress
+            # rolling upgrade's replacement).
+            return candidates[-1]
         return self.rng.choice(sorted(candidates, key=lambda i: i.instance_id))
 
     def _pick_store(self, action: CrashStore, runtime):

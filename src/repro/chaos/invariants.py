@@ -321,12 +321,123 @@ def check_recoveries_succeeded(supervisor) -> List[InvariantViolation]:
     return violations
 
 
+def check_operation_converged(runtime) -> List[InvariantViolation]:
+    """A finished planned operation left no transitional structure behind.
+
+    Planned operations (rolling upgrade, store replacement, topology
+    splice, hot reload — ``repro.ops``) move through transitional states:
+    paused vertices, in-flight handovers, splitters naming both old and new
+    instances, a lame-duck store beside its successor. This checker asserts
+    the run *ended* convergent — every name the routing layer can emit
+    resolves to an alive component and no transition is still half-taken.
+    """
+    violations: List[InvariantViolation] = []
+
+    def _bad(detail: str) -> None:
+        violations.append(InvariantViolation("operation-converged", detail))
+
+    for vertex, splitter in sorted(runtime.splitters.items()):
+        if vertex not in runtime.chain.vertices:
+            _bad(f"splitter for {vertex!r} outlives its removed vertex")
+        named = (
+            set(splitter.instances)
+            | set(splitter.hash_members)
+            | set(splitter.overrides.values())
+        )
+        for instance_id in sorted(named):
+            instance = runtime.instances.get(instance_id)
+            if instance is None or not instance.alive:
+                _bad(
+                    f"splitter {vertex!r} routes to "
+                    f"{'unknown' if instance is None else 'dead'} instance "
+                    f"{instance_id!r}"
+                )
+    for vertex, instance_ids in sorted(runtime.vertex_instances.items()):
+        if vertex not in runtime.chain.vertices:
+            _bad(f"instance list for {vertex!r} outlives its removed vertex")
+        for instance_id in instance_ids:
+            if instance_id not in runtime.instances:
+                _bad(f"{vertex!r} lists unregistered instance {instance_id!r}")
+    if runtime._paused_vertices:
+        _bad(f"vertices still input-paused: {sorted(runtime._paused_vertices)}")
+    stuck_moves = {}
+    for vertex, pending in runtime._inflight_moves.items():
+        # completed moves are pruned lazily (moves_in_flight side effect),
+        # so triggered entries are normal — only untriggered ones are stuck
+        live = sum(1 for event in pending.values() if not event.triggered)
+        if live:
+            stuck_moves[vertex] = live
+    if stuck_moves:
+        _bad(f"handovers still in flight at end of run: {stuck_moves}")
+    if runtime._sinks != set(runtime.chain.sinks()):
+        _bad(
+            f"sink cache {sorted(runtime._sinks)} diverged from topology "
+            f"sinks {sorted(runtime.chain.sinks())}"
+        )
+    cluster_names = {store.name for store in runtime.store.instances}
+    runtime_names = {store.name for store in runtime.stores}
+    if cluster_names != runtime_names:
+        _bad(
+            f"cluster map stores {sorted(cluster_names)} != runtime stores "
+            f"{sorted(runtime_names)}"
+        )
+    for store in runtime.store.instances:
+        if not store.alive:
+            _bad(f"cluster map still routes to dead store {store.name!r}")
+        elif getattr(store, "lame_duck", False):
+            _bad(f"store {store.name!r} left in lame-duck mode")
+    for root in runtime.roots:
+        if root.alive and root.store_endpoint not in cluster_names:
+            _bad(
+                f"{root.name} points at store {root.store_endpoint!r} "
+                "outside the cluster map"
+            )
+    return violations
+
+
+def check_no_downtime(
+    windows: List[Tuple[float, int]],
+    floor: int = 1,
+    label: str = "operation",
+) -> List[InvariantViolation]:
+    """Goodput never fell below ``floor`` packets per sampled window.
+
+    ``windows`` comes from the maintenance director's
+    :class:`~repro.ops.director.GoodputMonitor`: ``(window start, egress
+    count)`` pairs sampled *while a planned operation was executing*. A
+    zero-loss operation is allowed to add latency, but a window with fewer
+    than ``floor`` egress packets means the chain stalled under
+    maintenance — downtime the operation promised not to cause.
+    """
+    violations: List[InvariantViolation] = []
+    if not windows:
+        violations.append(
+            InvariantViolation(
+                "no-downtime", f"{label}: no goodput windows were sampled"
+            )
+        )
+        return violations
+    for start_us, count in windows:
+        if count < floor:
+            violations.append(
+                InvariantViolation(
+                    "no-downtime",
+                    f"{label}: window at t={start_us:.0f}us egressed {count} "
+                    f"packets (floor {floor})",
+                )
+            )
+    return violations
+
+
 def check_invariants(
     runtime,
     reference: Optional[RunSnapshot] = None,
     supervisor=None,
     loss_allowance: int = 0,
     expect_log_drained: bool = True,
+    expect_converged: bool = False,
+    downtime_windows: Optional[List[Tuple[float, int]]] = None,
+    downtime_floor: int = 1,
 ) -> List[InvariantViolation]:
     """Run the full battery; returns every violation found."""
     snapshot = snapshot_run(runtime)
@@ -346,4 +457,8 @@ def check_invariants(
         violations += check_log_drained(runtime)
     if supervisor is not None:
         violations += check_recoveries_succeeded(supervisor)
+    if expect_converged:
+        violations += check_operation_converged(runtime)
+    if downtime_windows is not None:
+        violations += check_no_downtime(downtime_windows, floor=downtime_floor)
     return violations

@@ -31,11 +31,15 @@ class CrashNF(FaultAction):
 
     ``instance_id`` pins a concrete target; otherwise a random alive
     instance of ``vertex`` (or of any vertex when that is ``None`` too) is
-    chosen at execution time with the director's seeded RNG.
+    chosen at execution time with the director's seeded RNG. With
+    ``newest`` set, the *most recently registered* matching instance is
+    chosen instead of a random one — maintenance-overlay scenarios use it
+    to crash the replacement an in-progress rolling upgrade just spawned.
     """
 
     vertex: Optional[str] = None
     instance_id: Optional[str] = None
+    newest: bool = False
 
 
 @dataclass

@@ -246,6 +246,10 @@ class ChainRuntime:
         # moves whose ownership transfer has not landed yet; move_flows
         # serialises against overlapping entries (see moves_in_flight).
         self._inflight_moves: Dict[str, Dict[Tuple, Event]] = {}
+        # vertex -> resume event: while present, workers emitting into that
+        # vertex park on the event (maintenance-director topology splices
+        # quiesce a vertex this way; see pause_vertex_input).
+        self._paused_vertices: Dict[str, Event] = {}
 
         self._apply_exclusivity()
         if start_managers:
@@ -371,6 +375,152 @@ class ChainRuntime:
         self.filters.pop(instance_id, None)
         instance.fail()
         return instance
+
+    # ------------------------------------------------------------------
+    # planned topology edits (maintenance director, DESIGN.md §12)
+    # ------------------------------------------------------------------
+
+    def pause_vertex_input(self, vertex_name: str) -> None:
+        """Gate all NF->NF emission into ``vertex_name``.
+
+        Workers about to deliver a packet into the vertex park (in FIFO
+        order, so per-flow order is preserved across the pause) until
+        :meth:`resume_vertex_input`. The entry vertex cannot be paused —
+        the root's forward path is synchronous by design.
+        """
+        if vertex_name == self.chain.entry:
+            raise ValueError("cannot pause the entry vertex (root forward path)")
+        if vertex_name not in self.splitters:
+            raise KeyError(f"unknown vertex {vertex_name!r}")
+        if vertex_name not in self._paused_vertices:
+            self._paused_vertices[vertex_name] = self.sim.event(
+                name=f"resume({vertex_name})"
+            )
+
+    def resume_vertex_input(self, vertex_name: str) -> None:
+        """Release workers parked by :meth:`pause_vertex_input`. Parked
+        deliveries re-resolve their hop, so a splice that replaced the
+        paused vertex routes them to its successor."""
+        gate = self._paused_vertices.pop(vertex_name, None)
+        if gate is not None and not gate.triggered:
+            gate.succeed(None)
+
+    def _resolve_hop(self, vertex_name: str, label: str, fallback: str) -> str:
+        """Re-resolve a delivery hop after a pause: the topology may have
+        been spliced while the worker was parked."""
+        matches = [e for e in self.chain.out_edges(vertex_name) if e.label == label]
+        if not matches:
+            return fallback
+        for edge in matches:
+            if edge.dst == fallback:
+                return fallback
+        return matches[0].dst
+
+    def splice_insert_vertex(
+        self,
+        name: str,
+        nf_factory,
+        src: str,
+        dst: str,
+        parallelism: int = 1,
+        store_name: Optional[str] = None,
+        label: str = "out",
+    ) -> List[NFInstance]:
+        """Insert a new vertex on the ``src -> dst`` edge (one sim instant).
+
+        The edge is re-pointed at the new vertex and a ``name -> dst`` edge
+        added atomically — no yields — so every packet routes either the
+        old way or the new way, never half. Per-flow order is preserved
+        without a barrier: the new path is strictly longer (one extra NF),
+        so a pre-splice packet always reaches ``dst`` before any post-
+        splice packet of its flow.
+        """
+        if name in self.chain.vertices:
+            raise ValueError(f"duplicate vertex {name!r}")
+        edge = next(
+            (
+                e
+                for e in self.chain.edges
+                if e.src == src and e.dst == dst and e.label == label and not e.mirror
+            ),
+            None,
+        )
+        if edge is None:
+            raise KeyError(f"no plain edge {src!r} -> {dst!r} (label {label!r})")
+        self.chain.add_vertex(name, nf_factory, parallelism=parallelism)
+        self.store.assign_vertex(
+            name,
+            store_name or self.stores[(len(self.chain.vertices) - 1) % len(self.stores)].name,
+        )
+        probe_nf = nf_factory()
+        for op_name, op_fn in probe_nf.custom_operations().items():
+            self.store.register_custom_op(op_name, op_fn)
+        self.vertex_instances[name] = []
+        for k in range(parallelism):
+            self.add_instance(name, suffix=str(k))
+        scopes = probe_nf.scope() or [FIVE_TUPLE]
+        self.splitters[name] = Splitter(
+            name, list(self.vertex_instances[name]), scopes=scopes
+        )
+        splitter = self.splitters[name]
+        for instance in self.instances_of(name):
+            for obj_name, spec in instance.client.specs.items():
+                instance.client._exclusive[obj_name] = splitter.grants_exclusive(spec)
+        # routing cutover: src -> name -> dst, in place of src -> dst
+        edge.dst = name
+        self.chain.add_edge(name, dst, label="out")
+        self._sinks = set(self.chain.sinks())
+        self.chain.validate()
+        if self.managers:
+            interval = getattr(
+                next(iter(self.managers.values())), "interval_us", 1_000.0
+            )
+            self.managers[name] = VertexManager(
+                self.sim,
+                name,
+                instances_fn=lambda v=name: self.instances_of(v),
+                interval_us=interval,
+            )
+        return self.instances_of(name)
+
+    def splice_remove_vertex(self, name: str) -> None:
+        """Remove a mid-chain vertex, re-pointing its in-edges at its
+        unique successor (one sim instant).
+
+        The caller (maintenance director) must already have paused input
+        to the vertex, drained its instances, and disowned their state —
+        this is only the structural cutover. Unlike insertion, removal
+        *shortens* the path, so it is only order-safe behind the
+        pause/drain barrier the director holds.
+        """
+        if name not in self.chain.vertices:
+            raise KeyError(f"unknown vertex {name!r}")
+        if name == self.chain.entry:
+            raise ValueError("cannot remove the entry vertex")
+        in_edges = self.chain.in_edges(name)
+        out_edges = self.chain.out_edges(name)
+        if len(out_edges) != 1 or out_edges[0].mirror:
+            raise ValueError(f"vertex {name!r} is not a plain mid-chain vertex")
+        if any(e.mirror for e in in_edges) or not in_edges:
+            raise ValueError(f"vertex {name!r} has mirror or no in-edges")
+        successor = out_edges[0].dst
+        if any(e.src == successor for e in in_edges):
+            raise ValueError(f"removing {name!r} would create a self-loop")
+        for edge in in_edges:
+            edge.dst = successor
+        self.chain.edges.remove(out_edges[0])
+        del self.chain.vertices[name]
+        for instance_id in list(self.vertex_instances.get(name, ())):
+            if instance_id in self.instances:
+                self.retire_instance(instance_id)
+        self.vertex_instances.pop(name, None)
+        self.splitters.pop(name, None)
+        manager = self.managers.pop(name, None)
+        if manager is not None:
+            manager.stop()
+        self.store.unassign_vertex(name)
+        self._sinks = set(self.chain.sinks())
+        self.chain.validate()
 
     def instance(self, instance_id: str) -> NFInstance:
         return self.instances[instance_id]
@@ -681,7 +831,7 @@ class ChainRuntime:
         clock, generation = packet.clock, packet.generation
         out_edges = self.chain.out_edges(vertex_name)
 
-        deliveries: List[Tuple[str, Packet]] = []
+        deliveries: List[Tuple[str, str, Packet]] = []
         exits: List[Packet] = []
         carrier_assigned = False
         for output in outputs:
@@ -700,7 +850,7 @@ class ChainRuntime:
                 else:
                     copy = child.copy()
                     copy.bitvector = 0
-                deliveries.append((edge.dst, copy))
+                deliveries.append((edge.dst, output.edge, copy))
 
         if not deliveries:
             # This copy's journey ends at this instance: either the chain
@@ -737,14 +887,31 @@ class ChainRuntime:
         for child in exits:
             self._to_egress(vertex_name, child)
         backpressure = self._backpressure_hops
-        for dst_vertex, copy in deliveries:
-            if backpressure:
-                # Hop-by-hop backpressure (§8): the emitting worker parks
-                # until the downstream ring has space, instead of letting
-                # the NIC tail-drop the copy.
-                yield from self._await_hop_space(dst_vertex, copy, instance.instance_id)
-                if not instance._alive:
-                    return
+        for dst_vertex, label, copy in deliveries:
+            while True:
+                gate = self._paused_vertices.get(dst_vertex)
+                if gate is not None:
+                    # Maintenance splice in progress downstream: park on the
+                    # gate (FIFO wake preserves per-flow order), then re-
+                    # resolve the hop — the parked vertex may have been
+                    # spliced out while we waited.
+                    yield gate
+                    if not instance._alive:
+                        return
+                    dst_vertex = self._resolve_hop(vertex_name, label, dst_vertex)
+                    continue
+                if backpressure:
+                    # Hop-by-hop backpressure (§8): the emitting worker parks
+                    # until the downstream ring has space, instead of letting
+                    # the NIC tail-drop the copy.
+                    yield from self._await_hop_space(
+                        dst_vertex, copy, instance.instance_id
+                    )
+                    if not instance._alive:
+                        return
+                    if dst_vertex in self._paused_vertices:
+                        continue  # paused while waiting for ring space
+                break
             self._deliver(dst_vertex, copy)
 
     # ------------------------------------------------------------------
@@ -775,6 +942,8 @@ class ChainRuntime:
         conservative but keeps the Figure 4 windows airtight) — plus a
         declarative fast path at the target and a clear per-flow latch.
         """
+        if vertex_name in self._paused_vertices:
+            return None  # maintenance splice: everything takes the gated path
         splitter = self.splitters.get(vertex_name)
         if (
             splitter is None

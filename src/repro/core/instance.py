@@ -154,6 +154,8 @@ class NFInstance:
         self._alive = True
         self._buffering = start_buffering
         self._live_buffer: List[Packet] = []
+        self._replay_seen = 0           # replayed packets this target processed
+        self._replay_release: Optional[int] = None  # generation size, from marker
         self._pending_moves: Dict[int, MoveMarker] = {}  # inbound, incomplete
         self._completed_moves: Set[int] = set()
         self._seen_clocks: Set[int] = set()
@@ -231,6 +233,11 @@ class NFInstance:
         pending, self._live_buffer = self._live_buffer, []
         for packet in pending:
             self._dispatch(packet)
+
+    def _maybe_stop_buffering(self) -> None:
+        """Release once the replay-end marker AND the full generation landed."""
+        if self._replay_release is not None and self._replay_seen >= self._replay_release:
+            self.stop_buffering()
 
     # ------------------------------------------------------------------
     # fast-path flow latch (§6)
@@ -450,7 +457,10 @@ class NFInstance:
             # so queue-level duplicate suppression applies to it.
             packet.replay_target = None
             packet.replayed = False
+            self._replay_seen += 1
+            self._maybe_stop_buffering()
         was_replay_end = packet.replay_end
+        replay_total = packet.replay_total
         if not outputs:
             self.stats.dropped += 1
         yield from self.runtime.emit(self, packet, outputs or [])
@@ -459,7 +469,13 @@ class NFInstance:
         # downstream backpressure.
         self._uncount(packet)
         if was_replay_end:
-            self.stop_buffering()
+            # The marker can overtake other replayed packets when the
+            # upstream path fans across parallel instances (or one of them
+            # is mid-handover): release only once the whole generation has
+            # been processed, else a buffered live packet beats a replayed
+            # same-flow predecessor that is still in flight.
+            self._replay_release = replay_total or self._replay_seen
+            self._maybe_stop_buffering()
 
     # ------------------------------------------------------------------
     # handover protocol (Figure 4)

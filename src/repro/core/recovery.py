@@ -59,7 +59,9 @@ def replay_all_roots(runtime, target_instance: str) -> Generator:
     replayed: List[int] = []
     for index, root in enumerate(roots_with_logs):
         is_last = index == len(roots_with_logs) - 1
-        replayed += yield from root.replay(target_instance, mark_end=is_last)
+        replayed += yield from root.replay(
+            target_instance, mark_end=is_last, prior_replayed=len(replayed)
+        )
     return replayed
 
 

@@ -130,6 +130,15 @@ class Supervisor:
             self._handled.add(component)
             self.timeline.record(self.sim.now, "retired", name, component_kind=kind)
             return
+        if kind == "store" and component not in self.runtime.stores:
+            # Planned store replacement (maintenance director): the node
+            # was live-replaced — cluster map, roots and runtime.stores all
+            # point at its successor — and then torn down on purpose. Its
+            # death is not a failure; recovering it would resurrect a stale
+            # copy of the state beside the live one.
+            self._handled.add(component)
+            self.timeline.record(self.sim.now, "retired", name, component_kind=kind)
+            return
         self._handled.add(component)
         # A plain FailureInjector notifies at the crash instant; a
         # ChaosDirector records "failed" itself and notifies later. Record

@@ -1,0 +1,572 @@
+"""Named planned-operation scenarios and the N-seed ops campaign driver.
+
+The chaos campaign's mirror image: instead of a fault schedule, every
+scenario runs a *maintenance plan* — a
+:class:`~repro.ops.director.MaintenanceDirector` operation sequence —
+against live traffic, with a :class:`~repro.chaos.director.ChaosDirector`
+and :class:`~repro.core.supervisor.Supervisor` attached so unplanned
+crashes can overlay planned work (and so orderly retirements exercise the
+supervisor's retired-guards). Each run is checked against a clean
+reference with the full chaos invariant battery *plus* the two
+operations-specific checkers:
+:func:`~repro.chaos.invariants.check_operation_converged` (no
+transitional structure survives the run) and
+:func:`~repro.chaos.invariants.check_no_downtime` (goodput never stalled
+while an operation was executing).
+
+The workload is a three-vertex chain — ``entry`` (per-flow + shared
+state, two instances) -> ``scrub`` (per-flow state) -> ``exit`` (shared
+state) — over two store nodes, long enough that every operation starts,
+finishes, and settles while packets are still flowing. Topology-edit
+scenarios change which vertices exist, so their state comparison filters
+the spliced vertex's keys (the reference run never ran the edit);
+everything else — egress identities, per-flow order, ownership — must
+still match exactly.
+
+``tools/ops_campaign.py`` serializes :class:`OpsCampaignReport` to
+``BENCH_operations.json``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Optional, Sequence, Tuple, Union
+
+from repro.chaos.campaign import EntryCounterNF, SinkCounterNF
+from repro.chaos.director import ChaosDirector
+from repro.chaos.invariants import (
+    InvariantViolation,
+    RunSnapshot,
+    check_egress_complete,
+    check_exactly_once,
+    check_flow_ordering,
+    check_log_drained,
+    check_loss_free_state,
+    check_no_downtime,
+    check_no_gaveups,
+    check_operation_converged,
+    check_ownership,
+    check_recoveries_succeeded,
+    snapshot_run,
+)
+from repro.chaos.schedule import CrashNF, Schedule
+from repro.core.chain_runtime import ChainRuntime, RuntimeParams
+from repro.core.dag import LogicalChain
+from repro.core.nf_api import NetworkFunction, Output
+from repro.ops.director import MaintenanceDirector
+from repro.parallel import CampaignPool, InfraFailure, RunFailure
+from repro.simnet.engine import Simulator
+from repro.simnet.monitor import PERCENTILES_FIG8, RecoveryTimeline, percentiles
+from repro.store.keys import parse_storage_key
+from repro.store.spec import AccessPattern, Scope, StateObjectSpec
+from repro.traffic.packet import FiveTuple, Packet
+
+# --- workload -----------------------------------------------------------
+
+N_PACKETS = 240
+N_FLOWS = 6
+GAP_US = 3.0
+OP_AT_US = 90.0
+MONITOR_WINDOW_US = 50.0
+HORIZON_US = 400_000.0
+
+
+class ScrubNF(NetworkFunction):
+    """Mid-chain per-flow marker counter: the vertex topology edits
+    remove, so its per-flow ownership must be cleanly disowned."""
+
+    name = "scrub"
+
+    def state_specs(self):
+        return {
+            "flags": StateObjectSpec(
+                "flags", Scope.PER_FLOW, AccessPattern.READ_WRITE_OFTEN, initial_value=0
+            ),
+        }
+
+    def process(self, packet, state):
+        flow = packet.five_tuple.canonical().key()
+        yield from state.update("flags", flow, "incr", 1)
+        return [Output(packet)]
+
+
+class PatchNF(NetworkFunction):
+    """The NF the insert scenario splices in mid-traffic (shared counter
+    only, so the insertion changes no pre-existing state)."""
+
+    name = "patch"
+
+    def state_specs(self):
+        return {
+            "patched": StateObjectSpec(
+                "patched", Scope.CROSS_FLOW, AccessPattern.WRITE_MOSTLY, (), initial_value=0
+            ),
+        }
+
+    def process(self, packet, state):
+        yield from state.update("patched", None, "incr", 1)
+        return [Output(packet)]
+
+
+def build_runtime(sim: Simulator, seed: int, **overrides) -> ChainRuntime:
+    """entry (x2, per-flow + shared) -> scrub (per-flow) -> exit (shared),
+    state spread over two store nodes (entry/exit on store0, scrub on
+    store1 — so replacing store0 re-homes the busiest node)."""
+    chain = LogicalChain("ops")
+    chain.add_vertex("entry", EntryCounterNF, parallelism=2, entry=True)
+    chain.add_vertex("scrub", ScrubNF)
+    chain.add_vertex("exit", SinkCounterNF)
+    chain.add_edge("entry", "scrub")
+    chain.add_edge("scrub", "exit")
+    params = dict(seed=seed, checkpoint_interval_us=60.0)
+    params.update(overrides)
+    return ChainRuntime(
+        sim, chain, params=RuntimeParams(**params), n_store_instances=2
+    )
+
+
+def inject_workload(sim: Simulator, runtime: ChainRuntime) -> None:
+    """Paced packet source; payload identities ``f<flow>-<seq>``."""
+
+    def source():
+        seq_per_flow = [0] * N_FLOWS
+        for index in range(N_PACKETS):
+            flow = index % N_FLOWS
+            seq_per_flow[flow] += 1
+            packet = Packet(
+                FiveTuple("10.0.0.1", "52.0.0.1", 1000 + flow, 80, 6),
+                payload=f"f{flow}-{seq_per_flow[flow]}",
+            )
+            runtime.inject(packet)
+            yield sim.timeout(GAP_US)
+
+    sim.process(source(), name="ops-source")
+
+
+# --- scenarios ----------------------------------------------------------
+
+
+@dataclass
+class OpsScenarioSpec:
+    """A named maintenance plan plus its invariant profile."""
+
+    name: str
+    description: str
+    #: generator run as a sim process; paces itself and drives the director
+    operations: Callable[[MaintenanceDirector], Generator]
+    #: optional unplanned-fault overlay executed by the chaos director
+    build_schedule: Optional[Callable[[int], Schedule]] = None
+    loss_allowance: int = 0
+    expect_log_drained: bool = True
+    #: minimum egress packets per goodput window; None disables the
+    #: no-downtime check (a removal's pause gate is a bounded planned
+    #: stall — loss-free and order-preserving, but not stall-free)
+    downtime_floor: Optional[int] = 1
+    #: vertices whose state keys are excluded from the loss-free diff
+    #: (topology edits make them exist in only one of the two runs)
+    exclude_vertices: Tuple[str, ...] = ()
+    runtime_overrides: Dict[str, Any] = field(default_factory=dict)
+
+
+def _plan_rolling_upgrade(director: MaintenanceDirector) -> Generator:
+    yield director.sim.timeout(OP_AT_US)
+    yield from director.rolling_upgrade("entry")
+
+
+def _plan_store_replace(director: MaintenanceDirector) -> Generator:
+    yield director.sim.timeout(OP_AT_US)
+    yield from director.replace_store("store0")
+
+
+def _plan_topology_insert(director: MaintenanceDirector) -> Generator:
+    yield director.sim.timeout(OP_AT_US)
+    yield from director.insert_vertex("patch", PatchNF, "scrub", "exit")
+
+
+def _plan_topology_remove(director: MaintenanceDirector) -> Generator:
+    yield director.sim.timeout(OP_AT_US)
+    yield from director.remove_vertex("scrub")
+
+
+def _plan_hot_reload(director: MaintenanceDirector) -> Generator:
+    yield director.sim.timeout(OP_AT_US)
+    yield from director.hot_reload(
+        {"retransmit_timeout_us": 250.0, "proc_time_us": 1.5}
+    )
+
+
+def _upgrade_crash_overlay(_seed: int) -> Schedule:
+    # an unplanned scrub-NF crash lands while the entry upgrade is mid-
+    # flight: the supervisor must run real failover for the crash while
+    # its retired-guards keep ignoring the upgrade's orderly retirements.
+    # (Mid-chain on purpose: replayed packets pass the downstream exit
+    # instance's duplicate filter, the paper's exactly-once mechanism.)
+    return Schedule([CrashNF(at_us=OP_AT_US + 60.0, vertex="scrub")])
+
+
+SCENARIOS: Dict[str, OpsScenarioSpec] = {
+    spec.name: spec
+    for spec in [
+        OpsScenarioSpec(
+            name="rolling-upgrade",
+            description="replace both entry instances one at a time under traffic",
+            operations=_plan_rolling_upgrade,
+        ),
+        OpsScenarioSpec(
+            name="store-replace",
+            description="live-replace store0 (entry+exit state) with WAL catch-up",
+            operations=_plan_store_replace,
+        ),
+        OpsScenarioSpec(
+            name="topology-insert",
+            description="splice a patch NF between scrub and exit mid-traffic",
+            operations=_plan_topology_insert,
+            exclude_vertices=("patch",),
+        ),
+        OpsScenarioSpec(
+            name="topology-remove",
+            description="splice the scrub NF out, preserving per-flow order",
+            operations=_plan_topology_remove,
+            exclude_vertices=("scrub",),
+            downtime_floor=None,  # the pause gate is a bounded planned stall
+        ),
+        OpsScenarioSpec(
+            name="hot-reload",
+            description="hot-apply retransmit timeout + service time changes",
+            operations=_plan_hot_reload,
+        ),
+        OpsScenarioSpec(
+            name="upgrade-crash-overlay",
+            description="unplanned scrub-NF crash during the rolling entry upgrade",
+            operations=_plan_rolling_upgrade,
+            build_schedule=_upgrade_crash_overlay,
+        ),
+    ]
+}
+
+
+# --- driver -------------------------------------------------------------
+
+
+@dataclass
+class OpsOutcome:
+    """One (scenario, seed) maintenance run, checked against reference."""
+
+    scenario: str
+    seed: int
+    violations: List[InvariantViolation]
+    operations: List[Dict[str, Any]]  # OperationRecord.as_dict() per op
+    operation_us: List[float]  # completed-operation durations
+    goodput_windows: int
+    min_window_egress: Optional[int]
+    egress_count: int
+    reference_egress_count: int
+    engine: Dict[str, Any]
+    timeline: List[Dict[str, Any]]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+def _filter_state(
+    state: Dict[str, Any], exclude_vertices: Tuple[str, ...]
+) -> Dict[str, Any]:
+    if not exclude_vertices:
+        return state
+    kept: Dict[str, Any] = {}
+    for key, value in state.items():
+        try:
+            vertex, _obj, _flow = parse_storage_key(key)
+        except ValueError:
+            vertex = key
+        if vertex not in exclude_vertices:
+            kept[key] = value
+    return kept
+
+
+def _reference_run(seed: int, spec: OpsScenarioSpec) -> RunSnapshot:
+    sim = Simulator()
+    runtime = build_runtime(sim, seed, **spec.runtime_overrides)
+    inject_workload(sim, runtime)
+    sim.run(until=HORIZON_US)
+    return snapshot_run(runtime)
+
+
+def run_scenario(
+    spec: OpsScenarioSpec,
+    seed: int,
+    reference: Optional[RunSnapshot] = None,
+    collect_runtime: Optional[Callable] = None,
+) -> OpsOutcome:
+    """Run one maintenance run for ``spec`` under ``seed``; check it.
+
+    The battery is the chaos one plus the two operations checkers, with
+    the loss-free state diff filtered by ``spec.exclude_vertices`` (a
+    topology edit's spliced vertex exists in only one of the runs) and an
+    ``operation-completed`` assertion that every planned operation the
+    director recorded actually finished (an abort is a correct *response*
+    to a stuck gate, but the campaign's scenarios are all expected to
+    complete).
+    """
+    if reference is None:
+        reference = _reference_run(seed, spec)
+
+    sim = Simulator()
+    runtime = build_runtime(sim, seed, **spec.runtime_overrides)
+    timeline = RecoveryTimeline()
+    chaos = ChaosDirector(
+        sim, network=runtime.network, seed=seed, timeline=timeline
+    )
+    supervisor = runtime.attach_supervisor(chaos, timeline=timeline)
+    director = MaintenanceDirector(runtime, monitor_window_us=MONITOR_WINDOW_US)
+    if spec.build_schedule is not None:
+        chaos.execute(spec.build_schedule(seed), runtime)
+    sim.process(spec.operations(director), name=f"ops-{spec.name}")
+    inject_workload(sim, runtime)
+    sim.run(until=HORIZON_US)
+
+    if collect_runtime is not None:
+        collect_runtime(runtime)
+
+    snapshot = snapshot_run(runtime)
+    violations: List[InvariantViolation] = []
+    violations += check_exactly_once(snapshot.egress)
+    violations += check_flow_ordering(snapshot.egress)
+    violations += check_ownership(runtime)
+    violations += check_no_gaveups(runtime)
+    violations += check_loss_free_state(
+        _filter_state(snapshot.state, spec.exclude_vertices),
+        _filter_state(reference.state, spec.exclude_vertices),
+        spec.loss_allowance,
+    )
+    violations += check_egress_complete(
+        snapshot.egress, reference.egress, spec.loss_allowance
+    )
+    if spec.expect_log_drained:
+        violations += check_log_drained(runtime)
+    violations += check_recoveries_succeeded(supervisor)
+    violations += check_operation_converged(runtime)
+    if spec.downtime_floor is not None:
+        violations += check_no_downtime(
+            director.monitor.windows, floor=spec.downtime_floor, label=spec.name
+        )
+    for record in director.records:
+        if record.status != "completed":
+            violations.append(
+                InvariantViolation(
+                    "operation-completed",
+                    f"{record.kind}({record.target}) ended {record.status}"
+                    + (f": {record.note}" if record.note else ""),
+                )
+            )
+
+    windows = director.monitor.windows
+    return OpsOutcome(
+        scenario=spec.name,
+        seed=seed,
+        violations=violations,
+        operations=[record.as_dict() for record in director.records],
+        operation_us=[
+            record.duration_us for record in director.completed()
+        ],
+        goodput_windows=len(windows),
+        min_window_egress=min((c for _t, c in windows), default=None),
+        egress_count=len(runtime.egress),
+        reference_egress_count=len(reference.egress),
+        engine=runtime.engine_report(),
+        timeline=timeline.as_dicts(),
+    )
+
+
+@dataclass
+class OpsCampaignReport:
+    """Aggregated ops-campaign results (what BENCH_operations.json holds)."""
+
+    outcomes: List[OpsOutcome] = field(default_factory=list)
+    failures: List[RunFailure] = field(default_factory=list)
+    infra_failures: List[InfraFailure] = field(default_factory=list)
+    pool_stats: Optional[Dict[str, Any]] = None  # meta fragment, not payload
+    sanitizers: Optional[Dict[str, Any]] = None
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(outcome.violations) for outcome in self.outcomes)
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.total_violations == 0
+            and not self.failures
+            and not self.infra_failures
+        )
+
+    def operation_samples(self) -> Dict[str, List[float]]:
+        """scenario -> completed-operation durations across all seeds."""
+        samples: Dict[str, List[float]] = {}
+        for outcome in self.outcomes:
+            samples.setdefault(outcome.scenario, []).extend(outcome.operation_us)
+        return samples
+
+    def as_dict(self) -> Dict[str, Any]:
+        per_scenario: Dict[str, Any] = {}
+        durations = self.operation_samples()
+        names = sorted(
+            {o.scenario for o in self.outcomes}
+            | {f.scenario for f in self.failures}
+        )
+        for scenario in names:
+            rows = [o for o in self.outcomes if o.scenario == scenario]
+            samples = durations.get(scenario, [])
+            mins = [
+                o.min_window_egress for o in rows if o.min_window_egress is not None
+            ]
+            entry: Dict[str, Any] = {
+                "runs": len(rows),
+                "failed_runs": sum(f.scenario == scenario for f in self.failures),
+                "violations": sum(len(o.violations) for o in rows),
+                "operations_completed": len(samples),
+                "operations_aborted": sum(
+                    sum(op["status"] == "aborted" for op in o.operations)
+                    for o in rows
+                ),
+                "goodput_windows": sum(o.goodput_windows for o in rows),
+            }
+            if mins:
+                entry["min_window_egress"] = min(mins)
+            pct = percentiles(samples, PERCENTILES_FIG8)
+            if pct:
+                entry["operation_us_percentiles"] = {
+                    f"p{int(q)}": round(v, 3) for q, v in pct.items()
+                }
+            per_scenario[scenario] = entry
+        return {
+            "campaign": {
+                "runs": len(self.outcomes) + len(self.failures),
+                "completed": len(self.outcomes),
+                "failed_runs": len(self.failures),
+                "infra_failures": len(self.infra_failures),
+                "violations": self.total_violations,
+                "ok": self.ok,
+            },
+            "scenarios": per_scenario,
+            "violations": [
+                {
+                    "scenario": outcome.scenario,
+                    "seed": outcome.seed,
+                    **violation.as_dict(),
+                }
+                for outcome in self.outcomes
+                for violation in outcome.violations
+            ],
+            "failures": [failure.as_dict() for failure in self.failures],
+            "infra_failures": [
+                failure.as_dict() for failure in self.infra_failures
+            ],
+        }
+
+
+# --- parallel fan-out (repro.parallel, DESIGN.md §11) -------------------
+
+#: Per-process reference cache, same contract as the chaos campaign's:
+#: one clean run per (config, ref-seed), deterministic and shareable.
+_REFERENCE_CACHE: Dict[Tuple[str, int], RunSnapshot] = {}
+
+
+def _cached_reference(spec: OpsScenarioSpec, ref_seed: int) -> RunSnapshot:
+    config_key = repr(sorted(spec.runtime_overrides.items()))
+    key = (config_key, ref_seed)
+    if key not in _REFERENCE_CACHE:
+        _REFERENCE_CACHE[key] = _reference_run(ref_seed, spec)
+    return _REFERENCE_CACHE[key]
+
+
+@dataclass
+class _CampaignItem:
+    """One (scenario, seed) work unit shipped to a pool worker."""
+
+    scenario: str
+    seed: int
+    ref_seed: int
+    sanitize: bool = False
+
+    def __repr__(self) -> str:  # shows up in InfraFailure payload entries
+        return f"ops:{self.scenario}/seed={self.seed}"
+
+
+def _campaign_work(
+    item: _CampaignItem,
+) -> Tuple[str, Union[OpsOutcome, RunFailure], Optional[Dict[str, Any]]]:
+    """Pool work function: run one item, never raise."""
+    spec = SCENARIOS[item.scenario]
+    sanitizer_report: Optional[Dict[str, Any]] = None
+    try:
+        reference = _cached_reference(spec, item.ref_seed)
+        if item.sanitize:
+            from repro.analysis.runtime import sanitized
+
+            with sanitized() as suite:
+                outcome = run_scenario(spec, item.seed, reference=reference)
+                sanitizer_report = suite.report()
+        else:
+            outcome = run_scenario(spec, item.seed, reference=reference)
+        return ("outcome", outcome, sanitizer_report)
+    except Exception as exc:
+        failure = RunFailure(
+            scenario=item.scenario,
+            seed=item.seed,
+            error=f"{type(exc).__name__}: {exc}",
+        )
+        return ("failure", failure, sanitizer_report)
+
+
+def run_campaign(
+    seeds: Sequence[int],
+    scenario_names: Optional[Sequence[str]] = None,
+    progress: Optional[Callable[[OpsOutcome], None]] = None,
+    jobs: Union[int, str] = 1,
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    sanitize: bool = False,
+) -> OpsCampaignReport:
+    """Sweep ``seeds`` x the named scenarios (default: all).
+
+    Same fabric contract as the chaos campaign: results merge in
+    submission order, so the report (and the BENCH payload) is
+    byte-identical for any ``jobs`` count; a raising run becomes a
+    :class:`~repro.parallel.RunFailure`, a lost worker an
+    :class:`~repro.parallel.InfraFailure`.
+    """
+    names = list(scenario_names or SCENARIOS)
+    ref_seed = seeds[0] if len(seeds) else 0
+    items = [
+        _CampaignItem(
+            scenario=name, seed=seed, ref_seed=ref_seed, sanitize=sanitize
+        )
+        for name in names
+        for seed in seeds
+    ]
+    pool = CampaignPool(jobs=jobs, timeout_s=timeout_s, retries=retries)
+
+    def on_result(result) -> None:
+        if progress is not None and result.value[0] == "outcome":
+            progress(result.value[1])
+
+    pooled = pool.map(_campaign_work, items, progress=on_result)
+
+    from repro.parallel import merge_sanitizer_reports
+
+    report = OpsCampaignReport(
+        infra_failures=list(pooled.infra_failures),
+        pool_stats=pooled.stats(),
+        sanitizers=merge_sanitizer_reports(
+            result.value[2] for result in pooled.results
+        ),
+    )
+    for result in pooled.results:  # submission order == serial order
+        kind, payload, _sanitizer = result.value
+        if kind == "outcome":
+            report.outcomes.append(payload)
+        else:
+            report.failures.append(payload)
+    return report

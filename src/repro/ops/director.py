@@ -1,0 +1,715 @@
+"""The maintenance director: planned operations with zero-loss gates.
+
+Day-2 operations are the dual of chaos: the operator *chooses* to disturb
+the chain, so there is no excuse for losing a packet or reordering a flow.
+:class:`MaintenanceDirector` executes four operation families against a
+live :class:`~repro.core.chain_runtime.ChainRuntime`, each as a
+simulation-process generator whose every step is gated on an explicit
+drain/quiesce confirmation before the next begins, with
+abort-and-rollback when a gate times out:
+
+* **rolling NF upgrade** (:meth:`~MaintenanceDirector.rolling_upgrade`) —
+  per instance: spawn the replacement, hand every owned flow over via the
+  Figure-4 protocol, drain queues/NIC/flush-ACKs, take the old instance's
+  hash slot with ``splitter.replace_instance`` (same slot, so the hash
+  partition never flips) and retire it. A drain that exhausts its budget
+  rolls the flows back and retires the *replacement* instead.
+* **store-node replacement** (:meth:`~MaintenanceDirector.replace_store`)
+  — snapshot + routing swap in one sim instant, the old node enters
+  lame-duck (commits but never ACKs, closing the ack-then-crash lost
+  write window), then a WAL catch-up loop watches every update-log
+  identity the muted node still commits and gates teardown on each one
+  reappearing on the replacement via client retransmission (copying them
+  across instead would race those retransmits and regress keys the
+  replacement has already moved past).
+* **topology edit** (:meth:`~MaintenanceDirector.insert_vertex` /
+  :meth:`~MaintenanceDirector.remove_vertex`) — splice an NF into or out
+  of the chain mid-traffic. Insertion is order-safe bare (the new path is
+  strictly longer); removal holds the runtime's vertex-input pause gate
+  while the spliced-out vertex drains and disowns its per-flow state,
+  because a bypass packet could otherwise overtake an in-flight one.
+* **config hot-reload** (:meth:`~MaintenanceDirector.hot_reload`) — a
+  registry of hot-applicable parameters with per-key appliers; old values
+  are snapshotted first, and any failure rolls back everything already
+  applied.
+
+Every operation runs with the :class:`GoodputMonitor` armed, so the
+``no-downtime`` invariant checker can prove the chain kept externalizing
+packets through the whole procedure.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generator, List, Optional, Set, Tuple
+
+from repro.core.handover import move_flows
+from repro.store.datastore import DatastoreInstance
+from repro.util import stable_hash
+
+
+class OperationAborted(RuntimeError):
+    """A gate failed and the operation was rolled back."""
+
+
+@dataclass
+class OperationStep:
+    """One gated step inside a planned operation."""
+
+    name: str
+    started_at: float
+    finished_at: float = 0.0
+    ok: bool = True
+    note: str = ""
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "ok": self.ok,
+            "note": self.note,
+        }
+
+
+@dataclass
+class OperationRecord:
+    """One planned operation, step by step."""
+
+    kind: str  # rolling_upgrade | store_replace | topology_insert | ...
+    target: str
+    started_at: float
+    finished_at: float = 0.0
+    status: str = "running"  # running | completed | aborted
+    steps: List[OperationStep] = field(default_factory=list)
+    note: str = ""
+
+    @property
+    def duration_us(self) -> float:
+        return self.finished_at - self.started_at
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "status": self.status,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "note": self.note,
+            "steps": [step.as_dict() for step in self.steps],
+        }
+
+
+class GoodputMonitor:
+    """Samples egress counts per window while an operation is running.
+
+    Windows are only recorded while armed, so a quiet chain before/after
+    maintenance never reads as downtime; the director arms the monitor for
+    exactly the span of each operation.
+    """
+
+    def __init__(self, runtime, window_us: float = 100.0):
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.window_us = window_us
+        self.windows: List[Tuple[float, int]] = []
+        self._armed = 0
+        self._touched = False  # armed at any point inside the current window
+        self._proc = self.sim.process(self._loop(), name="goodput-monitor")
+
+    def arm(self) -> None:
+        self._armed += 1
+        self._touched = True
+
+    def disarm(self) -> None:
+        self._armed = max(0, self._armed - 1)
+
+    def _egressed(self) -> int:
+        return len(self.runtime.egress._items)
+
+    def _loop(self) -> Generator:
+        while True:
+            start = self.sim.now
+            base = self._egressed()
+            armed_at_start = self._armed > 0
+            self._touched = armed_at_start
+            yield self.sim.timeout(self.window_us)
+            if self._touched or self._armed > 0:
+                # any window overlapping the armed span counts — including
+                # an operation that starts AND finishes inside one window
+                self.windows.append((start, self._egressed() - base))
+
+
+class MaintenanceDirector:
+    """Executes planned operations; see module docstring."""
+
+    def __init__(
+        self,
+        runtime,
+        drain_poll_us: float = 20.0,
+        drain_budget_us: float = 30_000.0,
+        catchup_poll_us: float = 50.0,
+        monitor_window_us: float = 100.0,
+        monitor: Optional[GoodputMonitor] = None,
+    ):
+        self.runtime = runtime
+        self.sim = runtime.sim
+        self.drain_poll_us = drain_poll_us
+        self.drain_budget_us = drain_budget_us
+        self.catchup_poll_us = catchup_poll_us
+        self.monitor = monitor or GoodputMonitor(runtime, window_us=monitor_window_us)
+        self.records: List[OperationRecord] = []
+        self._seq = 0
+
+    # ------------------------------------------------------------------
+    # bookkeeping helpers
+    # ------------------------------------------------------------------
+
+    def _begin(self, kind: str, target: str) -> OperationRecord:
+        record = OperationRecord(kind=kind, target=target, started_at=self.sim.now)
+        self.records.append(record)
+        self.monitor.arm()
+        return record
+
+    def _finish(self, record: OperationRecord, status: str, note: str = "") -> None:
+        record.status = status
+        record.finished_at = self.sim.now
+        if note:
+            record.note = note
+        self.monitor.disarm()
+
+    def _step(self, record: OperationRecord, name: str) -> OperationStep:
+        step = OperationStep(name=name, started_at=self.sim.now)
+        record.steps.append(step)
+        return step
+
+    @staticmethod
+    def _close(step: OperationStep, sim, ok: bool = True, note: str = "") -> None:
+        step.finished_at = sim.now
+        step.ok = ok
+        if note:
+            step.note = note
+
+    def completed(self) -> List[OperationRecord]:
+        return [r for r in self.records if r.status == "completed"]
+
+    def aborted(self) -> List[OperationRecord]:
+        return [r for r in self.records if r.status == "aborted"]
+
+    def report(self) -> Dict[str, Any]:
+        return {
+            "operations": [record.as_dict() for record in self.records],
+            "completed": len(self.completed()),
+            "aborted": len(self.aborted()),
+            "goodput_windows": len(self.monitor.windows),
+        }
+
+    # ------------------------------------------------------------------
+    # shared drain gates
+    # ------------------------------------------------------------------
+
+    def _owned_scope_keys(self, vertex_name: str, instance) -> Dict[Tuple, str]:
+        """Scope keys currently owned by ``instance`` (per-flow only)."""
+        splitter = self.runtime.splitter(vertex_name)
+        keys: Dict[Tuple, str] = {}
+        for _sk, (_obj, flow_key) in instance.client.owned_items().items():
+            if flow_key is None:
+                continue
+            scope_key = self.runtime._project(flow_key, splitter.partition_fields)
+            if scope_key is not None:
+                keys[scope_key] = instance.instance_id
+        return keys
+
+    def _drain_instance(self, instance, deadline: float) -> Generator:
+        """Gate: queues empty, NIC ring empty, flush ACKs fenced.
+
+        Returns True if the gate passed before ``deadline``. The first
+        wait is one hop latency: packets already committed to the wire
+        (``sim.schedule(hop_link_us, nic.send, ...)``) are invisible to
+        the queue probes until they land.
+        """
+        yield self.sim.timeout(self.runtime.params.hop_link_us)
+        while True:
+            nic = self.runtime.nics.get(instance.instance_id)
+            if instance.queue_depth == 0 and (nic is None or len(nic._queue) == 0):
+                break
+            if self.sim.now >= deadline:
+                return False
+            yield self.sim.timeout(self.drain_poll_us)
+        yield instance.client.ack_barrier()
+        return True
+
+    # ------------------------------------------------------------------
+    # operation: rolling NF upgrade
+    # ------------------------------------------------------------------
+
+    def rolling_upgrade(
+        self, vertex_name: str, nf_factory=None
+    ) -> Generator:
+        """Replace every instance of ``vertex_name`` one at a time.
+
+        With ``nf_factory``, the vertex is re-pointed at the new factory
+        first (a versioned upgrade: replacements and any later failovers
+        run the new code); without it the upgrade is behavior-identical
+        (the campaign's case, so invariants can compare against an
+        undisturbed reference run). Simulation-process generator; returns
+        the :class:`OperationRecord`.
+        """
+        record = self._begin("rolling_upgrade", vertex_name)
+        vertex = self.runtime.chain.vertices[vertex_name]
+        old_factory = vertex.nf_factory
+        if nf_factory is not None:
+            vertex.nf_factory = nf_factory
+        try:
+            for old_id in list(self.runtime.vertex_instances[vertex_name]):
+                yield from self._upgrade_one(record, vertex_name, old_id)
+        except OperationAborted as exc:
+            if nf_factory is not None:
+                vertex.nf_factory = old_factory
+            self._finish(record, "aborted", note=str(exc))
+            return record
+        self._finish(record, "completed")
+        return record
+
+    def _upgrade_one(
+        self, record: OperationRecord, vertex_name: str, old_id: str
+    ) -> Generator:
+        runtime = self.runtime
+        splitter = runtime.splitter(vertex_name)
+        old = runtime.instances[old_id]
+        self._seq += 1
+        new = runtime.add_instance(vertex_name, suffix=f"u{self._seq}")
+        new_id = new.instance_id
+
+        step = self._step(record, f"handover:{old_id}->{new_id}")
+        deadline = self.sim.now + self.drain_budget_us
+        moved = 0
+        while True:
+            # 1. move every owned flow to the replacement (Figure 4:
+            #    ownership + in-order buffering, no loss)
+            keys = self._owned_scope_keys(vertex_name, old)
+            if keys:
+                result = yield from move_flows(
+                    runtime, vertex_name, list(keys), new_id, current_of=keys
+                )
+                moved += result.n_keys
+            # 2. drain gate: nothing queued, nothing on the ring, all
+            #    flushes ACK'd
+            drained = yield from self._drain_instance(old, deadline)
+            if not drained:
+                self._close(step, self.sim, ok=False, note="drain budget exceeded")
+                yield from self._rollback_upgrade(record, vertex_name, old_id, new_id)
+                raise OperationAborted(
+                    f"{old_id}: drain budget exceeded; flows restored"
+                )
+            # 3. re-check: a flow's first packet can claim ownership on the
+            #    old instance mid-drain — it must be moved too
+            if not self._owned_scope_keys(vertex_name, old):
+                break
+            if self.sim.now >= deadline:
+                self._close(step, self.sim, ok=False, note="ownership never quiesced")
+                yield from self._rollback_upgrade(record, vertex_name, old_id, new_id)
+                raise OperationAborted(
+                    f"{old_id}: ownership never quiesced; flows restored"
+                )
+        self._close(step, self.sim, note=f"{moved} keys moved")
+
+        step = self._step(record, f"cutover:{old_id}->{new_id}")
+        # same slot in hash_members, so the hash partition is unchanged —
+        # this is the one sanctioned way a membership list changes outside
+        # failover (chclint CHC007 guards the discipline)
+        splitter.replace_instance(old_id, new_id)
+        members = splitter.hash_members
+        for scope_key, holder in list(splitter.overrides.items()):
+            if (
+                holder == new_id
+                and members
+                and members[stable_hash(scope_key) % len(members)] == new_id
+            ):
+                del splitter.overrides[scope_key]  # hash home == holder now
+        runtime.retire_instance(old_id)
+        yield from runtime.notify_split_changed(vertex_name)
+        self._close(step, self.sim)
+
+    def _rollback_upgrade(
+        self, record: OperationRecord, vertex_name: str, old_id: str, new_id: str
+    ) -> Generator:
+        """Reverse a half-done instance upgrade: flows back, retire the new."""
+        runtime = self.runtime
+        step = self._step(record, f"rollback:{new_id}->{old_id}")
+        new = runtime.instances.get(new_id)
+        if new is not None:
+            keys = self._owned_scope_keys(vertex_name, new)
+            if keys:
+                yield from move_flows(
+                    runtime, vertex_name, list(keys), old_id, current_of=keys
+                )
+            splitter = runtime.splitter(vertex_name)
+            for scope_key, holder in list(splitter.overrides.items()):
+                if holder == old_id:
+                    home = splitter.hash_members[
+                        stable_hash(scope_key) % len(splitter.hash_members)
+                    ]
+                    if home == old_id:
+                        del splitter.overrides[scope_key]
+            yield from self._drain_instance(new, self.sim.now + self.drain_budget_us)
+            runtime.retire_instance(new_id)
+            yield from runtime.notify_split_changed(vertex_name)
+        self._close(step, self.sim)
+
+    # ------------------------------------------------------------------
+    # operation: store-node replacement under traffic
+    # ------------------------------------------------------------------
+
+    def replace_store(self, store_name: str) -> Generator:
+        """Live-replace one datastore node with zero lost updates."""
+        record = self._begin("store_replace", store_name)
+        runtime = self.runtime
+        old = runtime.store.instance_named(store_name)
+        self._seq += 1
+        new_name = f"{store_name}m{self._seq}"
+
+        # --- snapshot + routing swap: one sim instant, no yields --------
+        step = self._step(record, f"swap:{store_name}->{new_name}")
+        new = DatastoreInstance(
+            self.sim,
+            runtime.network,
+            new_name,
+            n_threads=old.n_threads,
+            op_service_us=old.op_service_us,
+            registry=old.registry,
+            root_endpoint=old.root_endpoint,
+            checkpoint_interval_us=old.checkpoint_interval_us,
+            dedup_enabled=old.dedup_enabled,
+            seed=runtime.params.seed + self._seq,
+            inflight_limit=old.inflight_limit,
+            overload_retry_after_us=old.overload_retry_after_us,
+        )
+        new._data = copy.deepcopy(old._data)
+        new._owners = dict(old._owners)
+        new._ts = copy.deepcopy(old._ts)
+        new._clones = dict(old._clones)
+        covered: Set[Tuple[str, int, int]] = set()
+        self._seed_update_log(old, new, covered)
+        runtime.store.replace_instance(store_name, new)
+        runtime.stores = [new if s.name == store_name else s for s in runtime.stores]
+        for root in runtime.roots:
+            if root.store_endpoint == store_name:
+                root.store_endpoint = new_name
+            root.store_endpoints_for_prune = [
+                new_name if s == store_name else s
+                for s in root.store_endpoints_for_prune
+            ]
+            if root.alive:
+                # commit-signal parity is unreliable across the swap: the
+                # old node's post-snapshot signals are muted below
+                root.note_store_recovered()
+        # From here the old node commits but never ACKs: un-ACK'd clients
+        # retransmit, re-resolve through the cluster map, and land on the
+        # replacement — where the seeded dedup log emulates anything the
+        # snapshot already covers, and anything newer applies fresh. This
+        # closes the window where an op the old node committed after the
+        # snapshot would otherwise be lost.
+        old.enter_lame_duck()
+        self._close(step, self.sim, note=f"{len(covered)} log identities seeded")
+
+        # --- WAL catch-up: watch what still lands on the old node -------
+        # Post-mute commits must NOT be copied across: their retransmits
+        # race the copy, and a copied old-node snapshot can clobber a key
+        # the replacement has already moved past (lost update). Instead we
+        # only *observe* their identities, then gate on each one landing
+        # in the replacement's log via client retransmission.
+        step = self._step(record, "catchup")
+        deadline = self.sim.now + self.drain_budget_us
+        quiet_rounds = 0
+        pending: Set[Tuple[str, int, int]] = set()
+        while old.alive and quiet_rounds < 2:
+            fresh = self._note_uncovered(old, covered, pending)
+            quiet_rounds = quiet_rounds + 1 if (
+                fresh == 0 and old._inflight() == 0
+            ) else 0
+            if quiet_rounds >= 2:
+                break
+            if self.sim.now >= deadline:
+                # Never roll forward on an unconfirmed gate: the swap is
+                # already safe (lame-duck forces retransmission of anything
+                # uncovered), but record the failed confirmation.
+                self._close(step, self.sim, ok=False, note="catch-up never quiesced")
+                self._finish(record, "aborted", note="catch-up never quiesced")
+                return record
+            yield self.sim.timeout(self.catchup_poll_us)
+        crashed = not old.alive
+        while not all(
+            seq in new._update_log.get((key, clock), {})
+            for (key, clock, seq) in pending
+        ):
+            if self.sim.now >= deadline:
+                self._close(
+                    step, self.sim, ok=False, note="pending flushes never reconciled"
+                )
+                self._finish(record, "aborted", note="pending flushes never reconciled")
+                return record
+            yield self.sim.timeout(self.catchup_poll_us)
+        note = f"{len(pending)} pending flushes reconciled via retransmission"
+        if crashed:
+            # the node died mid-replacement (chaos overlay): everything it
+            # committed-but-never-ACK'd is retransmitted and applied fresh
+            # on the replacement all the same — still zero loss
+            note += "; old node crashed mid-catch-up"
+        self._close(step, self.sim, note=note)
+
+        step = self._step(record, f"teardown:{store_name}")
+        if old.alive:
+            old.fail()
+        self._close(step, self.sim)
+        self._finish(record, "completed")
+        return record
+
+    @staticmethod
+    def _seed_update_log(
+        old: DatastoreInstance,
+        new: DatastoreInstance,
+        covered: Set[Tuple[str, int, int]],
+    ) -> int:
+        """Seed the replacement's dedup log with the old node's entries.
+
+        Runs in the same sim instant as the ``_data``/``_ts``/``_owners``
+        deep-copy, so every seeded identity's effect is already in the
+        replacement's state: the seed makes the replacement *emulate* a
+        retransmission of that identity (Figure 5b) instead of applying
+        it a second time. The log stores committed return values, not the
+        original op and args, which is why emulation — not re-execution —
+        is the only safe answer for a duplicate.
+        """
+        seeded = 0
+        for (key, clock), seqs in old._update_log.items():
+            for seq, value in seqs.items():
+                identity = (key, clock, seq)
+                if identity in covered:
+                    continue
+                covered.add(identity)
+                new._log_committed(key, clock, seq, value)
+                seeded += 1
+        return seeded
+
+    @staticmethod
+    def _note_uncovered(
+        old: DatastoreInstance,
+        covered: Set[Tuple[str, int, int]],
+        pending: Set[Tuple[str, int, int]],
+    ) -> int:
+        """Record post-snapshot identities the muted node committed.
+
+        These are never copied (see catch-up comment in
+        :meth:`replace_store`) — their un-ACK'd clients retransmit them to
+        the replacement, where they apply fresh. Returns how many were new
+        this round so the quiesce gate can detect the old node going idle.
+        """
+        fresh = 0
+        for (key, clock), seqs in list(old._update_log.items()):
+            for seq in list(seqs):
+                identity = (key, clock, seq)
+                if identity in covered or identity in pending:
+                    continue
+                pending.add(identity)
+                fresh += 1
+        return fresh
+
+    # ------------------------------------------------------------------
+    # operation: topology edits
+    # ------------------------------------------------------------------
+
+    def insert_vertex(
+        self,
+        name: str,
+        nf_factory,
+        src: str,
+        dst: str,
+        parallelism: int = 1,
+    ) -> Generator:
+        """Splice a new NF onto the ``src -> dst`` edge mid-traffic.
+
+        No pause gate is needed: the post-splice path is strictly longer
+        than the pre-splice one, so a packet routed the old way can never
+        be overtaken by a same-flow packet routed the new way.
+        """
+        record = self._begin("topology_insert", name)
+        step = self._step(record, f"splice:{src}->{name}->{dst}")
+        try:
+            instances = self.runtime.splice_insert_vertex(
+                name, nf_factory, src, dst, parallelism=parallelism
+            )
+        except (KeyError, ValueError) as exc:
+            self._close(step, self.sim, ok=False, note=repr(exc))
+            self._finish(record, "aborted", note=repr(exc))
+            return record
+        self._close(step, self.sim, note=f"{len(instances)} instances")
+        # settle gate: the first packets through the new NF cold-miss its
+        # state; one wire hop is enough for routing to be observably live
+        step = self._step(record, "settle")
+        yield self.sim.timeout(self.runtime.params.hop_link_us)
+        self._close(step, self.sim)
+        self._finish(record, "completed")
+        return record
+
+    def remove_vertex(self, name: str) -> Generator:
+        """Splice a mid-chain NF out, preserving per-flow order.
+
+        Removal *shortens* the path, so a bypass packet could overtake an
+        in-flight old-path packet; the pause gate holds all upstream
+        emission into the vertex while it drains, disowns its state, and
+        is spliced out — parked workers then re-resolve to the successor.
+        """
+        record = self._begin("topology_remove", name)
+        runtime = self.runtime
+        step = self._step(record, "pause")
+        try:
+            runtime.pause_vertex_input(name)
+        except (KeyError, ValueError) as exc:
+            self._close(step, self.sim, ok=False, note=repr(exc))
+            self._finish(record, "aborted", note=repr(exc))
+            return record
+        self._close(step, self.sim)
+
+        try:
+            step = self._step(record, "drain")
+            deadline = self.sim.now + self.drain_budget_us
+            for instance in runtime.instances_of(name):
+                drained = yield from self._drain_instance(instance, deadline)
+                if not drained:
+                    raise OperationAborted(
+                        f"{instance.instance_id}: drain budget exceeded"
+                    )
+            # the drained instances' last emissions are on the wire to the
+            # downstream ring; let them land before the cutover
+            yield self.sim.timeout(runtime.params.hop_link_us)
+            self._close(step, self.sim)
+
+            step = self._step(record, "disown")
+            released = 0
+            for instance in runtime.instances_of(name):
+                for _sk, (obj_name, flow_key) in sorted(
+                    instance.client.owned_items().items()
+                ):
+                    yield from instance.client.disassociate(obj_name, flow_key)
+                    released += 1
+            self._close(step, self.sim, note=f"{released} keys released")
+        except OperationAborted as exc:
+            self._close(step, self.sim, ok=False, note=str(exc))
+            runtime.resume_vertex_input(name)  # rollback: vertex stays
+            self._finish(record, "aborted", note=str(exc))
+            return record
+
+        step = self._step(record, "splice")
+        runtime.splice_remove_vertex(name)
+        self._close(step, self.sim)
+        step = self._step(record, "resume")
+        # after the splice, so parked workers re-resolve to the successor
+        runtime.resume_vertex_input(name)
+        self._close(step, self.sim)
+        self._finish(record, "completed")
+        return record
+
+    # ------------------------------------------------------------------
+    # operation: config hot-reload
+    # ------------------------------------------------------------------
+
+    def _reload_appliers(self) -> Dict[str, Any]:
+        """Hot-reloadable parameter registry: key -> (getter, applier).
+
+        Every applier writes the live objects *and* the params dataclass,
+        so instances added after the reload inherit the new value too.
+        """
+        runtime = self.runtime
+
+        def _set_overload_policy(value):
+            runtime.params.overload_policy = value
+            for instance in runtime.instances.values():
+                instance.overload_policy = value
+
+        def _set_nic_queue_limit(value):
+            runtime.params.nic_queue_limit = value
+            for nic in runtime.nics.values():
+                nic.queue_limit = value
+
+        def _set_retransmit_timeout(value):
+            runtime.params.retransmit_timeout_us = value
+            for instance in runtime.instances.values():
+                instance.client.retransmit_timeout_us = value
+
+        def _set_proc_time(value):
+            runtime.params.proc_time_us = value
+            for instance in runtime.instances.values():
+                instance.proc_time_us = value
+
+        def _set_checkpoint_interval(value):
+            runtime.params.checkpoint_interval_us = value
+            for store in runtime.store.instances:
+                if store.checkpoint_interval_us:
+                    # the running loop reads the attribute each cycle; a
+                    # store built without a loop cannot grow one hot
+                    store.checkpoint_interval_us = value
+
+        return {
+            "overload_policy": (
+                lambda: runtime.params.overload_policy, _set_overload_policy
+            ),
+            "nic_queue_limit": (
+                lambda: runtime.params.nic_queue_limit, _set_nic_queue_limit
+            ),
+            "retransmit_timeout_us": (
+                lambda: runtime.params.retransmit_timeout_us, _set_retransmit_timeout
+            ),
+            "proc_time_us": (lambda: runtime.params.proc_time_us, _set_proc_time),
+            "checkpoint_interval_us": (
+                lambda: runtime.params.checkpoint_interval_us,
+                _set_checkpoint_interval,
+            ),
+        }
+
+    def hot_reload(self, changes: Dict[str, Any]) -> Generator:
+        """Apply config ``changes`` without restarting anything.
+
+        All-or-nothing: old values are snapshotted first; an unknown key
+        (or an applier raising) rolls back every change already applied.
+        """
+        record = self._begin("hot_reload", ",".join(sorted(changes)))
+        appliers = self._reload_appliers()
+        step = self._step(record, "validate")
+        unknown = sorted(set(changes) - set(appliers))
+        if unknown:
+            self._close(step, self.sim, ok=False, note=f"not hot-reloadable: {unknown}")
+            self._finish(record, "aborted", note=f"not hot-reloadable: {unknown}")
+            return record
+        self._close(step, self.sim)
+
+        step = self._step(record, "apply")
+        applied: List[Tuple[str, Any]] = []
+        try:
+            for key in sorted(changes):
+                getter, applier = appliers[key]
+                applied.append((key, getter()))
+                applier(changes[key])
+        except Exception as exc:  # roll back what already landed
+            for key, old_value in reversed(applied):
+                appliers[key][1](old_value)
+            self._close(step, self.sim, ok=False, note=repr(exc))
+            self._finish(record, "aborted", note=repr(exc))
+            return record
+        self._close(step, self.sim, note=f"{len(applied)} params")
+
+        # settle gate: one poll interval under the new config, then verify
+        # every applier reads back the requested value
+        step = self._step(record, "verify")
+        yield self.sim.timeout(self.drain_poll_us)
+        stale = [key for key in changes if appliers[key][0]() != changes[key]]
+        if stale:
+            for key, old_value in reversed(applied):
+                appliers[key][1](old_value)
+            self._close(step, self.sim, ok=False, note=f"did not stick: {stale}")
+            self._finish(record, "aborted", note=f"did not stick: {stale}")
+            return record
+        self._close(step, self.sim)
+        self._finish(record, "completed")
+        return record

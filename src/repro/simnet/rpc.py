@@ -96,6 +96,12 @@ class RpcEndpoint:
         self.messages = Channel(sim, name=f"rpc-messages({name})")
         self._pending: Dict[int, Event] = {}
         self._alive = True
+        # Lame-duck mode: the endpoint keeps receiving and processing but
+        # every outbound frame (response or one-way) is silently dropped.
+        # Planned store replacement uses this to close the ack-then-crash
+        # window — un-ACK'd clients retransmit to the successor instead of
+        # trusting an instance that is about to be torn down.
+        self.mute_output = False
         # Deterministic per-endpoint jitter source for retransmission
         # backoff: seeded from the endpoint name and the network seed, so a
         # rerun with the same seeds retransmits at identical instants.
@@ -145,6 +151,8 @@ class RpcEndpoint:
 
     def send(self, dst: str, payload: Any) -> None:
         """Fire a one-way message (no response expected)."""
+        if self.mute_output:
+            return
         self.network.send(self.name, dst, _Wire("oneway", 0, payload))
 
     def _issue(self, dst: str, payload: Any) -> Tuple[int, Event]:
@@ -207,11 +215,16 @@ class RpcEndpoint:
             target = resolve() if resolve is not None else dst
             request_id, waiter = self._issue(target, payload)
             # Deadlock-sanitizer edge: this endpoint is parked on `target`.
-            # A timed wait is "soft" (a timeout breaks it), but a cycle of
-            # mutually-waiting callers is still worth naming early.
+            # A timed wait is soft — its own timeout breaks it, so it can
+            # never close a real deadlock; recording it as a hard edge made
+            # long planned-operation drains read as false cycles. Only an
+            # untimed wait (no retransmission timer) is a hard edge.
+            soft = timeout_us is not None
             suite = _sanitize.ACTIVE
             if suite is not None:
-                suite.wait_edge(self.sim, f"rpc:{self.name}", f"rpc:{target}")
+                suite.wait_edge(
+                    self.sim, f"rpc:{self.name}", f"rpc:{target}", soft=soft
+                )
             try:
                 if timeout_us is None:
                     value = yield waiter
@@ -220,7 +233,9 @@ class RpcEndpoint:
                 winner, value = yield self.sim.any_of([waiter, timer])
             finally:
                 if suite is not None:
-                    suite.release_edge(f"rpc:{self.name}", f"rpc:{target}")
+                    suite.release_edge(
+                        f"rpc:{self.name}", f"rpc:{target}", soft=soft
+                    )
             if winner is waiter:
                 return value
             # timed out: forget the stale waiter and retransmit
@@ -237,6 +252,8 @@ class RpcEndpoint:
 
     def respond(self, request: RpcRequest, value: Any, ok: bool = True) -> None:
         """Answer ``request`` (server side)."""
+        if self.mute_output:
+            return
         self.network.send(
             self.name, request.src, _Wire("response", request.request_id, value, ok=ok)
         )

@@ -30,6 +30,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
+from repro.analysis import runtime as _sanitize
 from repro.simnet.engine import Event, Simulator
 from repro.simnet.network import Network
 from repro.simnet.rpc import RpcEndpoint, RpcGaveUp
@@ -373,6 +374,17 @@ class StoreClient:
         return None
         yield  # pragma: no cover - keeps this a generator on all paths
 
+    def _note_cache_fill(self, storage_key: str) -> None:
+        """Ownership-sanitizer hook: this client now caches ``storage_key``.
+
+        Per-flow cache fills assert single-writer discipline exactly like
+        store applies do — two clients caching one key inside a handover
+        epoch is the transient window a planned re-home can open.
+        """
+        suite = _sanitize.ACTIVE
+        if suite is not None:
+            suite.note_cache_write(self.sim, storage_key, self.instance_id)
+
     # Operations that fully overwrite the value need no current state, so a
     # cold cache can apply them locally without first consulting the store.
     _OVERWRITE_OPS = frozenset({"set"})
@@ -393,12 +405,15 @@ class StoreClient:
             self.stats.blocking_ops += 1
             if result.state is not None or result.emulated:
                 if result.state is not None:
+                    self._note_cache_fill(request.key)
                     self._cache[request.key] = result.state
                 return result.value
             # rejected (not the owner): don't poison the cache
             return result.value
         current = self._cache.get(request.key, spec.initial_value)
         new_value, return_value = self.registry.apply(request.op, current, request.args)
+        if request.key not in self._cache:
+            self._note_cache_fill(request.key)
         self._cache[request.key] = new_value
         self.stats.local_ops += 1
         # Flushes are non-blocking by design (Table 1): they never stall the
@@ -576,6 +591,7 @@ class StoreClient:
                 return self._cache[storage_key]
             result = yield from self._read_through(storage_key, spec, ctx)
             value = result.value if result.value is not None else spec.initial_value
+            self._note_cache_fill(storage_key)
             self._cache[storage_key] = value
             return value
 
@@ -599,6 +615,7 @@ class StoreClient:
                 return self._cache[storage_key]
             result = yield from self._read_through(storage_key, spec, ctx)
             value = result.value if result.value is not None else spec.initial_value
+            self._note_cache_fill(storage_key)
             self._cache[storage_key] = value
             return value
 

@@ -70,6 +70,15 @@ class StoreCluster:
             if store == old_name:
                 self._vertex_assignment[vertex] = replacement.name
 
+    def unassign_vertex(self, vertex_id: str) -> None:
+        """Drop a vertex's pin (maintenance-director vertex removal).
+
+        Safe on an unpinned vertex; later keys for that vertex would fall
+        back to the stable-hash route, but a removed vertex never issues
+        any.
+        """
+        self._vertex_assignment.pop(vertex_id, None)
+
     def register_custom_op(self, name: str, fn: OperationFn) -> None:
         """Load a developer-supplied operation on every store instance."""
         for instance in self._instances.values():

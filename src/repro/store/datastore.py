@@ -219,6 +219,25 @@ class DatastoreInstance:
     def alive(self) -> bool:
         return self._alive
 
+    @property
+    def lame_duck(self) -> bool:
+        return self.endpoint.mute_output
+
+    def enter_lame_duck(self) -> None:
+        """Keep committing, stop talking (planned replacement, DESIGN.md §12).
+
+        From this instant the instance still serializes and logs every
+        arriving operation — so the replacement's catch-up diff stays exact
+        — but ACKs and commit signals are dropped on the wire. Clients that
+        were in flight against this node therefore retransmit, and their
+        retries re-resolve through the cluster map to the replacement,
+        where the dedup log makes the re-application (or a catch-up copy
+        racing it) idempotent. Without this, an op ACK'd after the catch-up
+        snapshot but before teardown would be lost: the client would never
+        retransmit it, and no one would copy it forward.
+        """
+        self.endpoint.mute_output = True
+
     def fail(self) -> None:
         """Fail-stop: all in-memory state vanishes; endpoint goes dark.
 

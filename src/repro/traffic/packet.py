@@ -81,6 +81,7 @@ class Packet:
     replayed: bool = False              # straggler mitigation / recovery replay
     replay_target: Optional[str] = None # clone instance ID carried by replays (§5.3)
     replay_end: bool = False            # root's "last replayed packet" marker
+    replay_total: Optional[int] = None  # marker only: size of the replay generation
     bitvector: int = 0                  # 32-bit XOR vector (§5.4, Figure 6)
     generation: int = 0                 # root replay pass this copy belongs to
     control: Optional[object] = None    # in-band framework control (move markers)

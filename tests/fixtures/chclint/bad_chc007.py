@@ -1,0 +1,9 @@
+"""Rewrites splitter membership / retires instances by hand (CHC007)."""
+
+
+def hostile_cutover(runtime, splitter, old_id, new_id):
+    splitter.hash_members.append(new_id)
+    splitter.hash_members[0] = new_id
+    splitter.hash_members = [new_id]
+    del splitter.hash_members[0]
+    runtime.retire_instance(old_id)

@@ -141,6 +141,34 @@ class TestRules:
         )
         assert lint.check_source(source, Path("nfs/plain.py")) == []
 
+    def test_chc007_membership_and_retirement(self):
+        findings = fixture_findings("bad_chc007.py")
+        codes = [f.code for f in findings]
+        assert codes and set(codes) == {"CHC007"}
+        # in-place mutator, item assignment, rebind, del, retire_instance
+        assert len(findings) == 5
+        assert {f.line for f in findings} == {5, 6, 7, 8, 9}
+        messages = " ".join(f.message for f in findings)
+        assert "replace_instance" in messages
+        assert "retire_instance" in messages
+
+    def test_chc007_exempt_in_control_plane_modules(self):
+        source = "def cutover(s, new):\n    s.hash_members.append(new)\n"
+        # the splitter's own file and the maintenance-director package are
+        # the sanctioned mutators; anywhere else the same code is flagged
+        assert lint.check_source(source, Path("core/splitter.py")) == []
+        assert lint.check_source(source, Path("ops/director.py")) == []
+        flagged = lint.check_source(source, Path("core/mod.py"))
+        assert [f.code for f in flagged] == ["CHC007"]
+
+    def test_chc007_reads_are_not_flagged(self):
+        source = (
+            "def audit(s):\n"
+            "    members = list(s.hash_members)\n"
+            "    return s.hash_members[0], len(members)\n"
+        )
+        assert lint.check_source(source, Path("core/mod.py")) == []
+
 
 class TestMechanics:
     def test_good_fixture_is_clean(self):

@@ -28,6 +28,7 @@ from repro.analysis.sanitizers import (
 from repro.core.instance import NFInstance
 from repro.core.splitter import MoveMarker
 from repro.simnet.engine import Channel, Simulator
+from repro.simnet.rpc import RpcEndpoint, RpcGaveUp
 from repro.store.protocol import BulkOwnerMove, WriteRequest
 
 FLOW_KEY = KEY_SEP.join(("nf", "conn", "flow-1"))
@@ -72,6 +73,31 @@ class TestOwnershipSanitizer:
         with pytest.raises(OwnershipRaceError):
             san.note_apply(FLOW_KEY, "nf-a-0")
             san.note_apply(FLOW_KEY, "nf-a-0c")
+
+    def test_cache_co_write_without_handover_raises_named(self):
+        san = OwnershipSanitizer()
+        san.note_cache_write(FLOW_KEY, "nf-a-0")
+        with pytest.raises(OwnershipRaceError) as excinfo:
+            san.note_cache_write(FLOW_KEY, "nf-b-0")
+        message = str(excinfo.value)
+        assert "cache co-write" in message
+        assert "nf-a-0" in message and "nf-b-0" in message
+        assert "flow-1" in message
+
+    def test_cache_fill_after_transfer_is_legal(self):
+        san = OwnershipSanitizer()
+        san.note_cache_write(FLOW_KEY, "nf-a-0")
+        san.note_transfer(FLOW_KEY, "nf-b-0", "bulk_move")
+        san.note_cache_write(FLOW_KEY, "nf-b-0")  # must not raise
+        assert san.cache_writes_checked == 2
+
+    def test_clone_cache_fill_is_legal_and_shared_keys_unchecked(self):
+        san = OwnershipSanitizer()
+        san.note_clone("nf-a-0", "nf-a-0c", register=True)
+        san.note_cache_write(FLOW_KEY, "nf-a-0")
+        san.note_cache_write(FLOW_KEY, "nf-a-0c")  # clone warms its copy
+        san.note_cache_write(SHARED_KEY, "nf-b-0")  # store-serialized
+        assert san.cache_writes_checked == 2
 
 
 class TestOwnershipThroughStore:
@@ -161,6 +187,24 @@ class TestWaitGraph:
         graph.add("b", "a")  # must not raise
         graph.remove("missing", "edge")  # tolerant of resets mid-wait
 
+    def test_soft_edges_never_close_a_cycle(self):
+        # a timed wait is broken by its own timeout, so mutual timed
+        # waits (RPC retransmission timers) are not a deadlock
+        graph = WaitGraph()
+        graph.add("rpc:a", "rpc:b", soft=True)
+        graph.add("rpc:b", "rpc:a", soft=True)  # must not raise
+        assert graph.soft_edges_added == 2
+        assert graph.edges_added == 0
+
+    def test_cycle_through_soft_edge_is_not_a_deadlock(self):
+        graph = WaitGraph()
+        graph.add("a", "b", soft=True)
+        graph.add("b", "c")
+        graph.add("c", "a")  # closes the loop only via the timed edge
+        graph.remove("a", "b", soft=True)
+        with pytest.raises(DeadlockError):
+            graph.add("a", "b")  # the same edge, untimed: a real cycle
+
 
 def _parked_emitter(sim, suite, src, dst, channel, item):
     """The exact park idiom the instance/NIC hooks use."""
@@ -206,6 +250,42 @@ class TestDeadlockIntegration:
         sim.run_process(_parked_emitter(sim, suite, "wkr:p", "wkr:c", queue, "x"))
         assert suite.waits.edges_added == 1
         assert suite.waits._edges == {}  # released on wake
+
+
+def _swallow_gaveup(endpoint, dst, **kwargs):
+    try:
+        yield from endpoint.call(dst, "ping", **kwargs)
+    except RpcGaveUp:
+        pass
+
+
+class TestRpcWaitEdges:
+    """Timed RPC waits are soft wait-graph edges (they cannot wedge);
+    only an untimed wait is a hard edge that can close a real cycle."""
+
+    def test_mutual_timed_calls_are_soft_not_deadlock(self, sim, network):
+        a = RpcEndpoint(sim, network, "a")
+        b = RpcEndpoint(sim, network, "b")
+        with sanitized() as suite:
+            # neither endpoint serves requests: both calls park on each
+            # other with retransmission timers, then give up — a cycle in
+            # shape, broken by its own timeouts
+            sim.process(_swallow_gaveup(a, "b", timeout_us=10.0, max_retries=1))
+            sim.process(_swallow_gaveup(b, "a", timeout_us=10.0, max_retries=1))
+            sim.run(until=1_000.0)
+            report = suite.report()
+        assert report["wait_soft_edges_added"] >= 2
+        assert report["wait_edges_added"] == 0
+
+    def test_mutual_untimed_calls_close_a_hard_cycle(self, sim, network):
+        a = RpcEndpoint(sim, network, "a")
+        b = RpcEndpoint(sim, network, "b")
+        with sanitized():
+            sim.process(_swallow_gaveup(a, "b"))
+            with pytest.raises(DeadlockError) as excinfo:
+                sim.run_process(_swallow_gaveup(b, "a"))
+        message = str(excinfo.value)
+        assert "rpc:a" in message and "rpc:b" in message
 
 
 class TestSuiteLifecycle:

@@ -1,0 +1,338 @@
+"""Maintenance director: planned day-2 operations with zero-loss gates.
+
+Coverage in three layers:
+
+* **end-to-end scenarios** — every named plan in
+  :data:`repro.ops.campaign.SCENARIOS` (rolling upgrade, store
+  replacement, topology edits, hot reload, crash-overlay) must hold the
+  full invariant battery against a clean reference run;
+* **gates and rollback** — a drain gate that cannot pass must abort the
+  operation and restore the pre-operation structure (flows back on the
+  old instance, replacement retired, vertex still spliced in);
+* **primitives** — the vertex-input pause gate, the goodput monitor's
+  window accounting, the operations-specific invariant checkers, and the
+  chaos director's ``newest`` crash selector used by overlay schedules.
+"""
+
+import pytest
+
+from repro.chaos.director import ChaosDirector
+from repro.chaos.invariants import (
+    check_no_downtime,
+    check_operation_converged,
+    snapshot_run,
+)
+from repro.chaos.schedule import CrashNF
+from repro.ops import GoodputMonitor, MaintenanceDirector
+from repro.ops.campaign import (
+    HORIZON_US,
+    OP_AT_US,
+    SCENARIOS,
+    ScrubNF,
+    _reference_run,
+    build_runtime,
+    inject_workload,
+    run_scenario,
+)
+from repro.simnet.engine import Simulator
+from repro.simnet.monitor import RecoveryTimeline
+
+_REFERENCES = {}
+
+
+def _run(spec, seed, collect_runtime=None):
+    """run_scenario with a per-config reference cache (keeps tests fast)."""
+    key = repr(sorted(spec.runtime_overrides.items()))
+    if key not in _REFERENCES:
+        _REFERENCES[key] = _reference_run(seed, spec)
+    return run_scenario(
+        spec, seed, reference=_REFERENCES[key], collect_runtime=collect_runtime
+    )
+
+
+# ----------------------------------------------------------------------
+# end-to-end scenarios
+# ----------------------------------------------------------------------
+
+
+class TestScenarios:
+    @pytest.mark.parametrize("name", sorted(SCENARIOS))
+    def test_scenario_holds_invariants(self, name):
+        outcome = _run(SCENARIOS[name], seed=1)
+        assert outcome.ok, [v.as_dict() for v in outcome.violations]
+        assert outcome.operations, "director recorded no operations"
+        assert all(op["status"] == "completed" for op in outcome.operations)
+        assert outcome.egress_count == outcome.reference_egress_count
+
+    def test_rolling_upgrade_zero_downtime_and_slot_reuse(self):
+        caught = {}
+        outcome = _run(
+            SCENARIOS["rolling-upgrade"],
+            seed=2,
+            collect_runtime=lambda rt: caught.setdefault("rt", rt),
+        )
+        assert outcome.ok, [v.as_dict() for v in outcome.violations]
+        # zero-downtime: every goodput window overlapping the upgrade saw
+        # egress traffic
+        assert outcome.goodput_windows >= 1
+        assert outcome.min_window_egress >= 1
+        # both original instances were replaced in place: same vertex
+        # parallelism, all-new IDs, and the splitter's membership matches
+        runtime = caught["rt"]
+        ids = runtime.vertex_instances["entry"]
+        assert len(ids) == 2
+        assert all("u" in i.split("-", 1)[1] for i in ids)
+        assert list(runtime.splitter("entry").hash_members) == ids
+
+    def test_crash_overlay_recovers_and_completes(self):
+        outcome = _run(SCENARIOS["upgrade-crash-overlay"], seed=1)
+        assert outcome.ok, [v.as_dict() for v in outcome.violations]
+        kinds = [event["kind"] for event in outcome.timeline]
+        # the unplanned mid-chain crash really failed over ...
+        assert "recovered" in kinds
+        # ... while the planned upgrade still completed
+        assert [op["status"] for op in outcome.operations] == ["completed"]
+
+
+class TestVersionedUpgrade:
+    def test_nf_factory_swapped_for_replacements(self):
+        class ScrubNFv2(ScrubNF):
+            pass
+
+        sim = Simulator()
+        runtime = build_runtime(sim, 11)
+        director = MaintenanceDirector(runtime, monitor_window_us=50.0)
+
+        def plan():
+            yield sim.timeout(OP_AT_US)
+            yield from director.rolling_upgrade("scrub", nf_factory=ScrubNFv2)
+
+        sim.process(plan())
+        inject_workload(sim, runtime)
+        sim.run(until=HORIZON_US)
+
+        assert [r.status for r in director.records] == ["completed"]
+        assert runtime.chain.vertices["scrub"].nf_factory is ScrubNFv2
+        for instance in runtime.instances_of("scrub"):
+            assert isinstance(instance.nf, ScrubNFv2)
+
+
+# ----------------------------------------------------------------------
+# gates and rollback
+# ----------------------------------------------------------------------
+
+
+class TestUpgradeAbort:
+    def test_drain_timeout_rolls_back(self):
+        # a service time far above the packet gap keeps the entry queues
+        # occupied, so the drain gate can never pass its (tiny) budget
+        sim = Simulator()
+        runtime = build_runtime(sim, 4, proc_time_us=400.0)
+        director = MaintenanceDirector(
+            runtime, drain_budget_us=60.0, monitor_window_us=50.0
+        )
+        before = list(runtime.vertex_instances["entry"])
+
+        def plan():
+            yield sim.timeout(OP_AT_US)
+            yield from director.rolling_upgrade("entry")
+
+        sim.process(plan())
+        inject_workload(sim, runtime)
+        sim.run(until=HORIZON_US)
+
+        record = director.records[0]
+        assert record.status == "aborted"
+        assert "drain budget exceeded" in record.note
+        # rollback: the original instances still serve the vertex and the
+        # half-spawned replacement is gone
+        assert runtime.vertex_instances["entry"] == before
+        assert list(runtime.splitter("entry").hash_members) == before
+        assert all(i in runtime.instances for i in before)
+        assert not any("u" in i.split("-", 1)[1] for i in runtime.instances)
+        # the chain kept running: rollback is not an outage
+        assert len(runtime.egress) > 0
+
+
+class TestTopologyAborts:
+    def test_remove_entry_vertex_refused(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 5)
+        director = MaintenanceDirector(runtime)
+        sim.process(director.remove_vertex("entry"))
+        sim.run(until=1_000.0)
+        record = director.records[0]
+        assert record.status == "aborted"
+        assert "entry" in runtime.chain.vertices
+        assert "entry" not in runtime._paused_vertices
+
+    def test_insert_on_unknown_edge_refused(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 5)
+        director = MaintenanceDirector(runtime)
+        sim.process(director.insert_vertex("patch", ScrubNF, "scrub", "nowhere"))
+        sim.run(until=1_000.0)
+        record = director.records[0]
+        assert record.status == "aborted"
+        assert "patch" not in runtime.chain.vertices
+
+
+class TestHotReload:
+    def test_unknown_key_aborts_without_side_effects(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 6)
+        director = MaintenanceDirector(runtime)
+        before = runtime.params.proc_time_us
+        sim.process(
+            director.hot_reload({"proc_time_us": 9.0, "n_workers": 4})
+        )
+        sim.run(until=1_000.0)
+        record = director.records[0]
+        assert record.status == "aborted"
+        assert "n_workers" in record.note
+        assert runtime.params.proc_time_us == before
+
+    def test_applies_to_params_and_live_objects(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 6)
+        director = MaintenanceDirector(runtime)
+        sim.process(
+            director.hot_reload(
+                {"proc_time_us": 3.5, "retransmit_timeout_us": 123.0}
+            )
+        )
+        sim.run(until=1_000.0)
+        assert director.records[0].status == "completed"
+        assert runtime.params.proc_time_us == 3.5
+        for instance in runtime.instances.values():
+            assert instance.proc_time_us == 3.5
+            assert instance.client.retransmit_timeout_us == 123.0
+
+
+# ----------------------------------------------------------------------
+# primitives
+# ----------------------------------------------------------------------
+
+
+class TestPauseGate:
+    def test_entry_vertex_not_pausable(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 7)
+        with pytest.raises(ValueError):
+            runtime.pause_vertex_input("entry")
+        with pytest.raises(KeyError):
+            runtime.pause_vertex_input("nope")
+
+    def test_paused_vertex_leaves_fastpath(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 7)
+        runtime.pause_vertex_input("scrub")
+        from repro.traffic.packet import FiveTuple, Packet
+
+        packet = Packet(FiveTuple("10.0.0.1", "52.0.0.1", 1000, 80, 6))
+        assert runtime.fast_target("scrub", packet) is None
+        runtime.resume_vertex_input("scrub")
+
+    def test_pause_window_loses_nothing(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 7)
+
+        def toggle():
+            yield sim.timeout(OP_AT_US)
+            runtime.pause_vertex_input("scrub")
+            yield sim.timeout(200.0)
+            runtime.resume_vertex_input("scrub")
+
+        sim.process(toggle())
+        inject_workload(sim, runtime)
+        sim.run(until=HORIZON_US)
+        from repro.ops.campaign import N_PACKETS
+
+        assert len(runtime.egress) == N_PACKETS
+        assert not runtime._paused_vertices
+
+
+class TestGoodputMonitor:
+    def test_subwindow_operation_still_sampled(self):
+        # an operation shorter than one window (armed and disarmed between
+        # two window boundaries) must still record the window it touched
+        sim = Simulator()
+        runtime = build_runtime(sim, 8)
+        monitor = GoodputMonitor(runtime, window_us=100.0)
+
+        def blip():
+            yield sim.timeout(130.0)
+            monitor.arm()
+            yield sim.timeout(2.0)
+            monitor.disarm()
+
+        sim.process(blip())
+        sim.run(until=500.0)
+        starts = [start for start, _count in monitor.windows]
+        assert starts == [100.0]
+
+    def test_unarmed_windows_not_recorded(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 8)
+        monitor = GoodputMonitor(runtime, window_us=100.0)
+        sim.run(until=500.0)
+        assert monitor.windows == []
+
+
+class TestOperationsCheckers:
+    def test_clean_runtime_converged(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 9)
+        assert check_operation_converged(runtime) == []
+
+    def test_paused_vertex_flagged(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 9)
+        runtime.pause_vertex_input("scrub")
+        violations = check_operation_converged(runtime)
+        assert any("paused" in v.detail for v in violations)
+
+    def test_lame_duck_store_flagged(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 9)
+        runtime.stores[0].enter_lame_duck()
+        violations = check_operation_converged(runtime)
+        assert any("lame-duck" in v.detail for v in violations)
+
+    def test_only_untriggered_moves_count_as_stuck(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 9)
+        done = sim.event(name="done-move")
+        done.succeed()
+        runtime._inflight_moves.setdefault("entry", {})[1] = done
+        assert check_operation_converged(runtime) == []
+        runtime._inflight_moves["entry"][2] = sim.event(name="stuck-move")
+        violations = check_operation_converged(runtime)
+        assert any("handover" in v.detail for v in violations)
+
+    def test_no_downtime_checker(self):
+        assert check_no_downtime([], label="x")  # no samples = a violation
+        assert check_no_downtime([(0.0, 0)], floor=1, label="x")
+        assert check_no_downtime([(0.0, 3), (50.0, 1)], floor=1, label="x") == []
+
+
+class TestNewestCrashSelector:
+    def test_newest_picks_latest_spawned_instance(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 10)
+        fresh = runtime.add_instance("entry", "zz")
+        director = ChaosDirector(
+            sim, network=runtime.network, seed=0, timeline=RecoveryTimeline()
+        )
+        action = CrashNF(at_us=0.0, vertex="entry", newest=True)
+        assert director._pick_nf(action, runtime) is fresh
+
+    def test_default_choice_is_seeded_random(self):
+        sim = Simulator()
+        runtime = build_runtime(sim, 10)
+        picks = set()
+        for seed in range(8):
+            director = ChaosDirector(sim, network=runtime.network, seed=seed)
+            action = CrashNF(at_us=0.0, vertex="entry")
+            picks.add(director._pick_nf(action, runtime).instance_id)
+        assert len(picks) == 2  # both entry instances reachable

@@ -1,0 +1,192 @@
+#!/usr/bin/env python
+"""Run the planned-operations campaign and record ``BENCH_operations.json``.
+
+Sweeps N seeds across the named maintenance scenarios (default: all of
+``repro.ops.campaign.SCENARIOS``): rolling NF upgrade, store-node
+replacement, topology insert/remove, config hot-reload, and a rolling
+upgrade with an unplanned crash landing mid-operation. Every run executes
+under live traffic and is checked against the full invariant battery
+(loss-free state, exactly-once externalization, per-flow ordering, no
+stranded ownership, drained root logs, completed recoveries) plus the
+operations-specific checkers: the runtime must converge back to a clean
+steady state and the chain must stay above the scenario's goodput floor
+while the operation is in flight (zero-downtime).
+
+Usage::
+
+    PYTHONPATH=src python tools/ops_campaign.py --seeds 10 --jobs auto
+    PYTHONPATH=src python tools/ops_campaign.py --quick --jobs 2   # CI smoke
+    PYTHONPATH=src python tools/ops_campaign.py --seeds 3 \
+        --scenarios rolling-upgrade store-replace
+
+``--jobs N|auto`` fans the independent (scenario, seed) runs across
+worker processes (``repro.parallel``, DESIGN.md §11); the payload is
+byte-identical to the serial run for any job count, modulo the ``meta``
+wall-clock/jobs fields.
+
+Exit status is non-zero if any invariant was violated, any operation
+failed to complete, any run raised, or any worker was lost — this is the
+correctness gate the CI ``ops-smoke`` job enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import _bootstrap
+
+_bootstrap.ensure_repro_importable()
+
+REPO_ROOT = _bootstrap.REPO_ROOT
+
+QUICK_SEEDS = 2
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "operations campaign (times in simulated microseconds)",
+        f"{'scenario':<22} {'runs':>5} {'fail':>5} {'done':>5} {'abrt':>5}"
+        f" {'viol':>5} {'minwin':>6} {'p5':>8} {'p50':>8} {'p95':>8}",
+    ]
+    for name, row in payload["scenarios"].items():
+        pct = row.get("operation_us_percentiles", {})
+        lines.append(
+            f"{name:<22} {row['runs']:>5} {row.get('failed_runs', 0):>5}"
+            f" {row['operations_completed']:>5}"
+            f" {row['operations_aborted']:>5}"
+            f" {row['violations']:>5}"
+            f" {row.get('min_window_egress', '-'):>6}"
+            f" {pct.get('p5', '-'):>8} {pct.get('p50', '-'):>8}"
+            f" {pct.get('p95', '-'):>8}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    from repro.ops.campaign import SCENARIOS, run_campaign
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=10, help="seeds per scenario")
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        choices=sorted(SCENARIOS),
+        default=None,
+        help="subset of scenarios (default: all)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: {QUICK_SEEDS} seeds per scenario",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_operations.json"),
+        help="output path (default: BENCH_operations.json at the repo root)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-run progress"
+    )
+    parser.add_argument(
+        "--sanitize",
+        action="store_true",
+        help="run with the runtime sanitizer suite installed (ownership races,"
+        " clock monotonicity, backpressure deadlock cycles raise loudly)",
+    )
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        help="worker processes for the seed x scenario fan-out"
+        " ('auto' = cpu count; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-run wall budget in seconds; a hung run is recorded as an"
+        " infra failure instead of wedging the campaign",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="requeue budget for runs lost to a worker crash (default 1)",
+    )
+    args = parser.parse_args(argv)
+    if args.quick:
+        args.seeds = min(args.seeds, QUICK_SEEDS)
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+
+    def progress(outcome):
+        if args.quiet:
+            return
+        mark = "ok" if outcome.ok else f"{len(outcome.violations)} VIOLATIONS"
+        print(f"  {outcome.scenario:<22} seed={outcome.seed:<3} {mark}", flush=True)
+
+    t0 = time.perf_counter()
+    report = run_campaign(
+        range(args.seeds),
+        scenario_names=args.scenarios,
+        progress=progress,
+        jobs=args.jobs,
+        timeout_s=args.run_timeout,
+        retries=args.retries,
+        sanitize=args.sanitize,
+    )
+    wall_s = time.perf_counter() - t0
+
+    payload = report.as_dict()
+    payload["meta"] = {
+        "benchmark": "ops_campaign",
+        "seeds": args.seeds,
+        "scenarios": args.scenarios or sorted(SCENARIOS),
+        "wall_s": round(wall_s, 1),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    if report.pool_stats is not None:
+        payload["meta"]["jobs"] = report.pool_stats["jobs"]
+        payload["meta"]["wall_s_serial_est"] = report.pool_stats[
+            "wall_s_serial_est"
+        ]
+    if report.sanitizers is not None:
+        payload["meta"]["sanitizers"] = report.sanitizers
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    print(render(payload))
+    attempted = len(report.outcomes) + len(report.failures)
+    print(f"\nwrote {args.output} ({attempted} runs, {wall_s:.1f}s)")
+    if not report.ok:
+        if report.total_violations:
+            print(
+                f"INVARIANT VIOLATIONS: {report.total_violations}", file=sys.stderr
+            )
+            for violation in payload["violations"]:
+                print(f"  {violation}", file=sys.stderr)
+        if report.failures:
+            print(f"FAILED RUNS: {len(report.failures)}", file=sys.stderr)
+            for failure in payload["failures"]:
+                print(f"  {failure}", file=sys.stderr)
+        if report.infra_failures:
+            print(
+                f"INFRA FAILURES: {len(report.infra_failures)}", file=sys.stderr
+            )
+            for failure in payload["infra_failures"]:
+                print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("all invariants held")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
