@@ -49,6 +49,14 @@ CHC007 Splitter membership / instance retirement mutated outside the
        Figure-4 handover (state loss), and retiring an instance that
        has not been drained through the director APIs strands owned
        state.
+CHC008 ``import socket`` / ``import pickle`` anywhere but
+       ``repro/dist/transport.py``. The transport module is the single
+       place raw sockets and wire encoding live: it frames messages,
+       uses an explicit registered-class codec (never bare pickle,
+       which executes arbitrary constructors on decode), and counts
+       faults. Any other module opening sockets would bypass the
+       reconnect/backoff/fault-counter machinery the distributed-fabric
+       evidence checks rely on.
 ====== =================================================================
 
 Suppression: append ``# chclint: disable=CHC003`` (comma-separate for
@@ -80,13 +88,20 @@ ALL_RULES: Dict[str, str] = {
     "CHC005": "NF state write bypassing the store API",
     "CHC006": "declarative NF touching state outside its declared match-action tables",
     "CHC007": "splitter membership or retirement mutated outside director/autoscaler APIs",
+    "CHC008": "raw socket/pickle import outside repro.dist.transport",
 }
 
 #: Path fragments whose files may read the wall clock (CHC002 exempt):
-#: host-side drivers, benchmark harnesses, and the parallel campaign
-#: fabric (``repro/parallel`` — worker timeouts and per-run wall
-#: accounting are host-side measurements, never simulation clocks).
-WALL_CLOCK_EXEMPT_PARTS = ("tools", "benchmarks", "bench", "parallel")
+#: host-side drivers, benchmark harnesses, the parallel campaign fabric
+#: (``repro/parallel`` — worker timeouts and per-run wall accounting are
+#: host-side measurements, never simulation clocks), and the distributed
+#: shard fabric (``repro/dist`` — real processes paced against real
+#: wall-clock time is the whole point).
+WALL_CLOCK_EXEMPT_PARTS = ("tools", "benchmarks", "bench", "parallel", "dist")
+
+#: Modules whose import is confined to ``repro/dist/transport.py``
+#: (CHC008): raw sockets and ambient-authority serialization.
+RAW_TRANSPORT_MODULES = ("socket", "pickle")
 
 #: Modules sanctioned to mutate splitter membership / retire instances
 #: (CHC007 exempt): the splitter's own implementation, the control-plane
@@ -205,6 +220,8 @@ def _exempt_codes(path: Path) -> Set[str]:
         exempt.add("CHC006")
     if path.name in MEMBERSHIP_EXEMPT_FILES or parts & set(MEMBERSHIP_EXEMPT_PARTS):
         exempt.add("CHC007")
+    if path.name == "transport.py" and "dist" in parts:
+        exempt.add("CHC008")
     return exempt
 
 
@@ -281,9 +298,25 @@ class _Checker(ast.NodeVisitor):
                 self.time_modules.add(bound)
             elif alias.name == "datetime":
                 self.datetime_names.add(bound)
+            if alias.name.split(".")[0] in RAW_TRANSPORT_MODULES:
+                self.report(
+                    node,
+                    "CHC008",
+                    f"import {alias.name}: raw sockets/pickle are confined to "
+                    "repro.dist.transport — use its framed connections and "
+                    "registered-class codec instead",
+                )
         self.generic_visit(node)
 
     def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        if node.module and node.module.split(".")[0] in RAW_TRANSPORT_MODULES:
+            self.report(
+                node,
+                "CHC008",
+                f"from {node.module} import ...: raw sockets/pickle are "
+                "confined to repro.dist.transport — use its framed "
+                "connections and registered-class codec instead",
+            )
         if node.module == "random":
             for alias in node.names:
                 if alias.name in ("Random", "SystemRandom"):

@@ -32,7 +32,7 @@ window, footnote 5, so clock values diverge from the reference run).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Tuple
+from typing import Any, Dict, Iterable, List, Optional, Tuple
 
 _INTERNAL_MARKERS = ("__root__", "__move__", "__nondet__")
 
@@ -202,24 +202,46 @@ def check_flow_ordering(
     return violations
 
 
+def check_ownership_map(
+    owners: Dict[str, Optional[str]],
+    alive_instances: Iterable[str],
+    store_name: str = "store",
+) -> List[InvariantViolation]:
+    """Serializable form of :func:`check_ownership`.
+
+    ``owners`` is a store's key -> owner map, ``alive_instances`` the set of
+    instance IDs currently alive — exactly what the distributed fabric
+    (repro.dist) collects over the wire from a store snapshot and shard
+    status replies, with no live runtime in the checking process.
+    """
+    alive = set(alive_instances)
+    violations: List[InvariantViolation] = []
+    for key, owner in sorted(owners.items()):
+        if owner is None or _is_internal(key):
+            continue
+        if owner not in alive:
+            violations.append(
+                InvariantViolation(
+                    "no-stranded-ownership",
+                    f"{store_name}: key {key!r} owned by dead or unknown "
+                    f"instance {owner!r}",
+                )
+            )
+    return violations
+
+
 def check_ownership(runtime) -> List[InvariantViolation]:
     """Every recorded per-flow owner is an alive, registered NF instance."""
+    alive = [
+        instance_id
+        for instance_id, instance in runtime.instances.items()
+        if instance.alive
+    ]
     violations: List[InvariantViolation] = []
     for store in runtime.store.instances:
         if not store.alive:
             continue
-        for key, owner in sorted(store._owners.items()):
-            if owner is None or _is_internal(key):
-                continue
-            instance = runtime.instances.get(owner)
-            if instance is None or not instance.alive:
-                violations.append(
-                    InvariantViolation(
-                        "no-stranded-ownership",
-                        f"{store.name}: key {key!r} owned by "
-                        f"{'unknown' if instance is None else 'dead'} instance {owner!r}",
-                    )
-                )
+        violations += check_ownership_map(store._owners, alive, store.name)
     return violations
 
 
@@ -231,15 +253,21 @@ def check_log_drained(runtime) -> List[InvariantViolation]:
     window legitimately strands log entries (the memory is reclaimed by the
     prune protocol in a real deployment).
     """
+    return check_log_lengths(
+        {root.name: len(root.log) for root in runtime.roots if root.alive}
+    )
+
+
+def check_log_lengths(log_lengths: Dict[str, int]) -> List[InvariantViolation]:
+    """Serializable form of :func:`check_log_drained`: root name -> number
+    of packet-log entries left at quiescence."""
     violations: List[InvariantViolation] = []
-    for root in runtime.roots:
-        if not root.alive:
-            continue
-        if root.log:
+    for name, length in sorted(log_lengths.items()):
+        if length:
             violations.append(
                 InvariantViolation(
                     "log-drained",
-                    f"{root.name}: {len(root.log)} packet log entries not deleted",
+                    f"{name}: {length} packet log entries not deleted",
                 )
             )
     return violations
@@ -247,16 +275,25 @@ def check_log_drained(runtime) -> List[InvariantViolation]:
 
 def check_no_gaveups(runtime) -> List[InvariantViolation]:
     """No surviving client abandoned a state flush (potential lost state)."""
+    return check_gaveup_counts(
+        {
+            instance.instance_id: instance.client.stats.flushes_gave_up
+            for instance in runtime.instances.values()
+            if instance.alive
+        }
+    )
+
+
+def check_gaveup_counts(gaveups: Dict[str, int]) -> List[InvariantViolation]:
+    """Serializable form of :func:`check_no_gaveups`: instance ID ->
+    ``flushes_gave_up`` counter of every surviving client."""
     violations: List[InvariantViolation] = []
-    for instance in runtime.instances.values():
-        if not instance.alive:
-            continue
-        gave_up = instance.client.stats.flushes_gave_up
+    for instance_id, gave_up in sorted(gaveups.items()):
         if gave_up:
             violations.append(
                 InvariantViolation(
                     "no-flush-gaveups",
-                    f"{instance.instance_id}: {gave_up} flushes exhausted their "
+                    f"{instance_id}: {gave_up} flushes exhausted their "
                     "retry budget",
                 )
             )

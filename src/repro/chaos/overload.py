@@ -77,6 +77,16 @@ class ReadThroughEntryNF(EntryCounterNF):
         return [Output(packet)]
 
 
+class MidCounterNF(EntryCounterNF):
+    """Second store-heavy stage for the store-hot scenario.
+
+    Same per-flow + shared counters as the entry, under its own vertex —
+    so the single store node hosts two comparably-loaded tenants and the
+    store-side scale-out has a vertex it can split away."""
+
+    name = "mid"
+
+
 # --- load shapes --------------------------------------------------------
 
 
@@ -112,6 +122,14 @@ class OverloadSpec:
     scale_queue_threshold: int = 48
     scale_low_threshold: int = 4
     max_instances: int = 3
+    # store-side elasticity (DESIGN.md §8): an extra store-heavy vertex in
+    # the chain plus the rejection-hysteresis scale-out of the store tier
+    store_heavy: bool = False
+    store_scale: bool = False
+    store_rejection_threshold: int = 8
+    store_window_us: float = 200.0
+    store_windows_over: int = 3
+    max_stores: int = 2
 
     @property
     def horizon_us(self) -> float:
@@ -131,6 +149,18 @@ def _slow_store(_seed: int) -> List[LoadPhase]:
     # Read-through capacity is ~n_workers / store RTT (~28µs): ~0.14 pkt/µs.
     # Offer ~0.7x of that throughout; the spike, not the load, is the fault.
     return [LoadPhase(3_000.0, 10.0, 6)]
+
+
+def _store_hot(_seed: int) -> List[LoadPhase]:
+    # With store_op_service_us=16 the store's capacity is 4 threads / 16µs
+    # = 0.25 ops/µs; the plateau's three shared-counter updates per packet
+    # offer ~0.3 ops/µs, so the store — not the NF CPUs (entry capacity is
+    # 1 pkt/µs) — is the saturated resource and admission control sheds.
+    return [
+        LoadPhase(600.0, 14.0, 6),    # warm-up under store capacity
+        LoadPhase(1_500.0, 10.0, 6),  # store-saturating plateau
+        LoadPhase(600.0, 30.0, 6),    # cool-down: backlog drains
+    ]
 
 
 def _flash_crowd(_seed: int) -> List[LoadPhase]:
@@ -173,6 +203,21 @@ SCENARIOS: Dict[str, OverloadSpec] = {
             description="flow population jumps 10x at 1.5x capacity",
             phases=_flash_crowd(0),
         ),
+        OverloadSpec(
+            name="store-hot",
+            description=(
+                "write-heavy chain saturates one store node; elasticity "
+                "re-homes a vertex onto a fresh replica"
+            ),
+            phases=_store_hot(0),
+            store_heavy=True,
+            store_scale=True,
+            runtime_overrides=dict(
+                store_op_service_us=16.0,
+                store_inflight_limit=12,
+                store_overload_retry_us=40.0,
+            ),
+        ),
     ]
 }
 
@@ -199,12 +244,20 @@ def build_overload_runtime(
         else None
     )
     chain.add_vertex("entry", entry_nf, entry=True, scaling_logic=scaling)
-    chain.add_vertex("exit", SinkCounterNF)
-    chain.add_edge("entry", "exit")
+    proc_overrides = {"entry": ENTRY_PROC_US, "exit": 2.0}
+    if spec.store_heavy:
+        chain.add_vertex("mid", MidCounterNF)
+        chain.add_vertex("exit", SinkCounterNF)
+        chain.add_edge("entry", "mid")
+        chain.add_edge("mid", "exit")
+        proc_overrides["mid"] = 2.0
+    else:
+        chain.add_vertex("exit", SinkCounterNF)
+        chain.add_edge("entry", "exit")
     params = dict(
         seed=seed,
         n_workers=N_WORKERS,
-        proc_time_overrides={"entry": ENTRY_PROC_US, "exit": 2.0},
+        proc_time_overrides=proc_overrides,
         instance_queue_capacity=64,
         overload_policy="drop",
         nic_queue_limit=128,
@@ -317,6 +370,13 @@ def run_overload_scenario(
             max_instances=spec.max_instances,
             cooldown_us=1_500.0,
         )
+        if spec.store_scale:
+            controller.enable_store_elasticity(
+                rejection_threshold=spec.store_rejection_threshold,
+                window_us=spec.store_window_us,
+                windows_over=spec.store_windows_over,
+                max_stores=spec.max_stores,
+            )
     if spec.store_spike is not None:
         for store in runtime.stores:
             runtime.network.degrade(
@@ -623,6 +683,9 @@ def aggregate_overload_payload(result: OverloadCampaignResult) -> Dict[str, Any]
             ),
             "scale_ins_total": sum(
                 o.autoscaler["scale_ins"] for o in group if o.autoscaler
+            ),
+            "store_scale_outs_total": sum(
+                o.autoscaler["store_scale_outs"] for o in group if o.autoscaler
             ),
         }
         scenarios_payload[key] = entry

@@ -25,10 +25,13 @@ running) rather than risk dropping state — an autoscaler must degrade to
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
-from typing import Any, Dict, Generator, List, Tuple
+from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.core.handover import move_flows
+from repro.store.datastore import DatastoreInstance
+from repro.store.keys import vertex_of_key
 from repro.util import stable_hash
 
 
@@ -54,6 +57,8 @@ class AutoscaleStats:
     skipped_cooldown: int = 0
     skipped_busy: int = 0
     skipped_limit: int = 0
+    store_scale_outs: int = 0
+    store_skipped: int = 0
 
 
 class AutoscaleController:
@@ -81,6 +86,7 @@ class AutoscaleController:
         self._last_done: Dict[str, float] = {}
         self._spawned: Dict[str, List[str]] = {}  # vertex -> autoscaled ids
         self._seq = 0
+        self._store_seq = 0
         for vertex_name, manager in runtime.managers.items():
             self.attach(vertex_name, manager)
 
@@ -258,6 +264,196 @@ class AutoscaleController:
             self._last_done[vertex_name] = self.sim.now
 
     # ------------------------------------------------------------------
+    # store-side elasticity: add a datastore replica under overload
+    # ------------------------------------------------------------------
+
+    def enable_store_elasticity(
+        self,
+        rejection_threshold: int = 10,
+        window_us: float = 200.0,
+        windows_over: int = 3,
+        max_stores: int = 2,
+    ) -> None:
+        """Watch admission-control rejections; scale the store tier out.
+
+        NF-side scaling reacts to queue backlog; the store tier's overload
+        signal is different — ``overload_rejections`` from the §8 admission
+        budget. Every ``window_us`` the controller samples the cluster-wide
+        rejection total; ``windows_over`` consecutive windows each adding
+        at least ``rejection_threshold`` rejections (hysteresis: one bursty
+        window must not trigger a migration) re-home the hottest vertex of
+        the hottest store onto a fresh replica, up to ``max_stores`` store
+        instances in total.
+        """
+        self.sim.process(
+            self._store_watch(
+                rejection_threshold, window_us, windows_over, max_stores
+            ),
+            name="store-elasticity",
+        )
+
+    def _store_watch(
+        self,
+        rejection_threshold: int,
+        window_us: float,
+        windows_over: int,
+        max_stores: int,
+    ) -> Generator:
+        last_total = 0
+        streak = 0
+        while True:
+            yield self.sim.timeout(window_us)
+            stores = [s for s in self.runtime.stores if s.alive]
+            total = sum(s.stats.overload_rejections for s in stores)
+            delta, last_total = total - last_total, total
+            streak = streak + 1 if delta >= rejection_threshold else 0
+            if streak < windows_over:
+                continue
+            streak = 0
+            if len(stores) >= max_stores:
+                self.stats.store_skipped += 1
+                continue
+            yield from self._store_scale_out()
+
+    def _hot_store(self) -> Optional[DatastoreInstance]:
+        alive = [s for s in self.runtime.stores if s.alive]
+        if not alive:
+            return None
+        return max(alive, key=lambda s: (s.stats.overload_rejections, s.name))
+
+    def _vertex_write_load(self, store: DatastoreInstance, vertex: str) -> int:
+        """Recent-write proxy: unpruned dedup-log entries for the vertex.
+
+        Log entries are pruned once their packet leaves the chain, so the
+        steady-state count tracks write rate x pipeline latency — a far
+        better hotness signal than key count (one shared counter key can
+        carry most of a store's load).
+        """
+        return sum(
+            len(seqs)
+            for (key, _clock), seqs in store._update_log.items()
+            if vertex_of_key(key) == vertex
+        )
+
+    def _store_scale_out(self) -> Generator:
+        """Re-home the hottest vertex of the hottest store onto a replica.
+
+        The mechanics mirror the maintenance director's ``replace_store``
+        (DESIGN.md §12), scoped to one vertex: snapshot + routing swap in a
+        single sim instant, then a per-vertex lame duck instead of the
+        whole-node mute — the hot store keeps serving its remaining
+        vertices at full speed while un-ACK'd clients of the migrated one
+        retransmit onto the replica.
+        """
+        runtime = self.runtime
+        hot = self._hot_store()
+        if hot is None:
+            return
+        candidates = runtime.store.vertices_assigned_to(hot.name)
+        if len(candidates) < 2:
+            # a single-tenant store cannot be split: moving its only
+            # vertex just relocates the hotspot
+            self.stats.store_skipped += 1
+            return
+        vertex = max(
+            candidates, key=lambda v: (self._vertex_write_load(hot, v), v)
+        )
+        self._store_seq += 1
+        started = self.sim.now
+        name = f"{hot.name}el{self._store_seq}"
+        action = ScaleAction("store_scale_out", vertex, name, started)
+
+        # --- snapshot + routing swap: one sim instant, no yields --------
+        replica = DatastoreInstance(
+            self.sim,
+            runtime.network,
+            name,
+            n_threads=hot.n_threads,
+            op_service_us=hot.op_service_us,
+            registry=hot.registry,
+            root_endpoint=hot.root_endpoint,
+            checkpoint_interval_us=hot.checkpoint_interval_us,
+            dedup_enabled=hot.dedup_enabled,
+            seed=runtime.params.seed + 7_000 + self._store_seq,
+            inflight_limit=hot.inflight_limit,
+            overload_retry_after_us=hot.overload_retry_after_us,
+        )
+        moved = [k for k in hot._data if vertex_of_key(k) == vertex]
+        for key in moved:
+            replica._data[key] = copy.deepcopy(hot._data[key])
+            if key in hot._owners:
+                replica._owners[key] = hot._owners[key]
+            if key in hot._ts:
+                replica._ts[key] = dict(hot._ts[key])
+        replica._clones = dict(hot._clones)
+        # pruned-clock memory must travel with the state: a retransmission
+        # that was in flight across the migration may carry a clock the old
+        # node already pruned
+        replica._pruned_clocks |= hot._pruned_clocks
+        for (key, clock), seqs in hot._update_log.items():
+            if vertex_of_key(key) != vertex:
+                continue
+            for seq, value in seqs.items():
+                replica._log_committed(key, clock, seq, value)
+        for ours, theirs in (
+            (hot._value_watchers, replica._value_watchers),
+            (hot._owner_watchers, replica._owner_watchers),
+        ):
+            for key in moved:
+                if key in ours:
+                    theirs[key] = set(ours[key])
+        runtime.store.add_replica(replica, vertices=[vertex])
+        runtime.stores.append(replica)
+        for root in runtime.roots:
+            root.store_endpoints_for_prune = list(
+                root.store_endpoints_for_prune
+            ) + [name]
+            if root.alive:
+                # commit-signal parity is unreliable across the swap: the
+                # old node still signals for in-flight ops it commits, and
+                # their retransmissions signal again from the replica
+                root.note_store_recovered()
+        hot.enter_vertex_lame_duck(vertex)
+        action.keys_moved = len(moved)
+        self.stats.store_scale_outs += 1
+
+        # --- drain, then garbage-collect the dead copies ----------------
+        # Wait until no request for the migrated vertex sits in the old
+        # node's thread queues (global idleness never comes — the other
+        # vertices are still under load), then drop the stale state so
+        # audits folding all stores into one map see only the replica's
+        # copy. The permanent per-vertex mute keeps any later straggler's
+        # phantom writes invisible, so a budget overrun is cosmetic.
+        deadline = started + self.drain_budget_us
+        quiet = 0
+        while quiet < 2 and self.sim.now < deadline:
+            yield self.sim.timeout(self.drain_poll_us)
+            quiet = quiet + 1 if not self._vertex_pending(hot, vertex) else 0
+        if quiet < 2:
+            action.ok = False
+            action.note = "drain budget exceeded; stale copies GC'd anyway"
+        hot.forget_vertex(vertex)
+        action.finished_at = self.sim.now
+        self.actions.append(action)
+
+    @staticmethod
+    def _vertex_pending(store: DatastoreInstance, vertex: str) -> bool:
+        """Any queued request on ``store`` touching ``vertex``'s keys?"""
+        for queue in store._queues:
+            for payload, _request in queue._items:
+                entries = getattr(payload, "entries", None)
+                if entries is not None:
+                    if any(
+                        vertex_of_key(e.key) == vertex for e in entries
+                    ):
+                        return True
+                    continue
+                key = getattr(payload, "key", None)
+                if key is not None and vertex_of_key(key) == vertex:
+                    return True
+        return False
+
+    # ------------------------------------------------------------------
     # inspection
     # ------------------------------------------------------------------
 
@@ -265,6 +461,8 @@ class AutoscaleController:
         return {
             "scale_outs": self.stats.scale_outs,
             "scale_ins": self.stats.scale_ins,
+            "store_scale_outs": self.stats.store_scale_outs,
+            "store_skipped": self.stats.store_skipped,
             "aborted": self.stats.aborted,
             "skipped": {
                 "cooldown": self.stats.skipped_cooldown,

@@ -31,7 +31,7 @@ from typing import Any, Dict, Generator, List, Optional, Set, Tuple
 
 from repro.analysis import runtime as _sanitize
 from repro.core.bitvector import TagRegistry
-from repro.core.clock import clock_root
+from repro.core.clock import LogicalClock, clock_root
 from repro.core.dag import LogicalChain
 from repro.core.duplicates import DuplicateFilter
 from repro.core.instance import (
@@ -118,6 +118,16 @@ class RuntimeParams:
     checkpoint_interval_us: Optional[float] = None
     seed: int = 0
 
+    # --- distributed shard fabric (repro.dist, DESIGN.md §13) -------------
+    # ``root_id_base`` offsets this runtime's root IDs so several shard
+    # processes share one store without colliding in clock space (shard k
+    # owns root{k}, and its clocks carry k in the high bits). A restarted
+    # shard passes ``root_clock_resume`` — the highest clock sequence the
+    # store has any trace of for its root — so reissued clocks can never
+    # collide with the dead incarnation's entries in the dedup log.
+    root_id_base: int = 0
+    root_clock_resume: Optional[int] = None
+
     # --- batched match-action fast path (§6 "software P4") ---------------
     # When on, NFs that declare a MatchActionForm run batched worker loops
     # with fused dispatch into adjacent declarative NFs. Off by default:
@@ -160,6 +170,7 @@ class ChainRuntime:
         n_store_instances: int = 1,
         n_roots: int = 1,
         start_managers: bool = False,
+        store_cluster: Optional[StoreCluster] = None,
     ):
         chain.validate()
         self.sim = sim
@@ -171,23 +182,31 @@ class ChainRuntime:
         self.tags = TagRegistry()
 
         # --- datastore cluster ------------------------------------------
-        self.stores: List[DatastoreInstance] = [
-            DatastoreInstance(
-                sim,
-                self.network,
-                f"store{i}",
-                n_threads=self.params.store_threads,
-                op_service_us=self.params.store_op_service_us,
-                root_endpoint="root{root_id}" if n_roots > 1 else "root0",
-                checkpoint_interval_us=self.params.checkpoint_interval_us,
-                dedup_enabled=self.params.store_dedup,
-                seed=self.params.seed + i,
-                inflight_limit=self.params.store_inflight_limit,
-                overload_retry_after_us=self.params.store_overload_retry_us,
-            )
-            for i in range(n_store_instances)
-        ]
-        self.store = StoreCluster(self.stores)
+        if store_cluster is not None:
+            # External store (repro.dist shard mode): the runtime routes all
+            # store traffic through the caller's cluster — typically remote
+            # handles whose endpoints the shard bridges onto a socket — and
+            # builds no local DatastoreInstance.
+            self.stores = list(store_cluster.instances)
+            self.store = store_cluster
+        else:
+            self.stores = [
+                DatastoreInstance(
+                    sim,
+                    self.network,
+                    f"store{i}",
+                    n_threads=self.params.store_threads,
+                    op_service_us=self.params.store_op_service_us,
+                    root_endpoint="root{root_id}",
+                    checkpoint_interval_us=self.params.checkpoint_interval_us,
+                    dedup_enabled=self.params.store_dedup,
+                    seed=self.params.seed + i,
+                    inflight_limit=self.params.store_inflight_limit,
+                    overload_retry_after_us=self.params.store_overload_retry_us,
+                )
+                for i in range(n_store_instances)
+            ]
+            self.store = StoreCluster(self.stores)
 
         # --- instances, splitters ---------------------------------------
         self.instances: Dict[str, NFInstance] = {}
@@ -213,7 +232,12 @@ class ChainRuntime:
 
         # --- roots ---------------------------------------------------------
         # §4.1/§5: R root instances, statically partitioned input, each
-        # stamping clocks carrying its ID in the high bits.
+        # stamping clocks carrying its ID in the high bits. root_id_base
+        # offsets the IDs (shard k of a distributed fabric owns root IDs
+        # starting at k); root_clock_resume restarts the clock above every
+        # sequence the store may have seen from a dead incarnation.
+        base = self.params.root_id_base
+        resume = self.params.root_clock_resume
         self.roots: List[Root] = [
             Root(
                 sim,
@@ -228,8 +252,15 @@ class ChainRuntime:
                 local_log_cost_us=self.params.local_log_cost_us,
                 log_threshold=self.params.log_threshold,
                 store_endpoints_for_prune=[s.name for s in self.stores],
+                clock=(
+                    LogicalClock.resume_from(
+                        root_id, resume, self.params.clock_persist_every
+                    )
+                    if resume is not None
+                    else None
+                ),
             )
-            for root_id in range(n_roots)
+            for root_id in range(base, base + n_roots)
         ]
         for root in self.roots:
             root.on_deleted.append(self._on_packet_deleted)

@@ -1,0 +1,195 @@
+"""Campaign sweep over the distributed fabric's fault scenarios.
+
+Fans (scenario, seed) pairs across worker processes with the same
+:class:`~repro.parallel.CampaignPool` conventions every other campaign
+uses (DESIGN.md §11): submission-order merge, the three-way failure
+taxonomy (invariant violation / :class:`~repro.parallel.RunFailure` /
+:class:`~repro.parallel.InfraFailure`), per-run timeout and crash
+quarantine. Each work item is heavyweight — one fabric run spawns a
+store process and N shard processes of its own — so job counts here
+multiply OS processes, not just Python interpreters.
+
+One honest deviation from §11: fabric runs measure *real* elapsed time
+and real socket behaviour, so per-run ``duration_s`` and transport
+counters vary run to run. The merge is still deterministic in structure
+and order (submission order, key-sorted aggregates); only those measured
+fields differ between repetitions, exactly like the wall-clock ``meta``
+fields of the other campaigns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.dist.fabric import DIST_SCENARIOS, DistOutcome, run_dist_scenario
+from repro.parallel import CampaignPool, InfraFailure, RunFailure
+
+__all__ = [
+    "DistCampaignReport",
+    "run_dist_campaign",
+]
+
+
+@dataclass
+class _DistItem:
+    scenario: str
+    seed: int
+    n_shards: int
+    n_packets: int
+    n_flows: int
+    deadline_s: float
+
+    def __repr__(self) -> str:  # shows up in InfraFailure payload entries
+        return f"dist:{self.scenario}/seed={self.seed}"
+
+
+def _campaign_work(item: _DistItem) -> Tuple[str, Union[DistOutcome, RunFailure]]:
+    """Pool work function: run one fabric item, never raise.
+
+    :class:`~repro.dist.fabric.FabricError` is already folded into
+    ``DistOutcome.infra_error`` by the fabric itself; anything else
+    escaping is a harness bug recorded as a ``RunFailure``.
+    """
+    try:
+        outcome = run_dist_scenario(
+            item.scenario,
+            item.seed,
+            n_shards=item.n_shards,
+            n_packets=item.n_packets,
+            n_flows=item.n_flows,
+            deadline_s=item.deadline_s,
+        )
+        return ("outcome", outcome)
+    except Exception as exc:
+        return (
+            "failure",
+            RunFailure(
+                scenario=item.scenario,
+                seed=item.seed,
+                error=f"{type(exc).__name__}: {exc}",
+            ),
+        )
+
+
+@dataclass
+class DistCampaignReport:
+    """Merged results of one distributed-fabric sweep."""
+
+    outcomes: List[DistOutcome] = field(default_factory=list)
+    failures: List[RunFailure] = field(default_factory=list)
+    infra_failures: List[InfraFailure] = field(default_factory=list)
+    pool_stats: Optional[Dict[str, Any]] = None
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(outcome.violations) for outcome in self.outcomes)
+
+    @property
+    def fabric_infra_errors(self) -> List[DistOutcome]:
+        return [o for o in self.outcomes if o.infra_error is not None]
+
+    @property
+    def ok(self) -> bool:
+        return (
+            self.total_violations == 0
+            and not self.fabric_infra_errors
+            and not self.failures
+            and not self.infra_failures
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        scenarios: Dict[str, Dict[str, Any]] = {}
+        for outcome in self.outcomes:
+            row = scenarios.setdefault(
+                outcome.scenario,
+                {
+                    "runs": 0,
+                    "ok_runs": 0,
+                    "violations": 0,
+                    "infra_errors": 0,
+                    "retransmissions": 0,
+                    "socket_resets": 0,
+                    "respawned_children": 0,
+                    "duration_s_total": 0.0,
+                },
+            )
+            row["runs"] += 1
+            row["ok_runs"] += 1 if outcome.ok else 0
+            row["violations"] += len(outcome.violations)
+            row["infra_errors"] += 1 if outcome.infra_error else 0
+            row["duration_s_total"] = round(
+                row["duration_s_total"] + outcome.duration_s, 3
+            )
+            for shard in outcome.per_shard.values():
+                row["retransmissions"] += shard.get("retransmissions", 0)
+            for conn in outcome.evidence.get("socket_faults", {}).values():
+                row["socket_resets"] += conn.get("resets", 0)
+            for pids in outcome.evidence.get("pids", {}).values():
+                row["respawned_children"] += max(0, len(set(pids)) - 1)
+        return {
+            "scenarios": {name: scenarios[name] for name in sorted(scenarios)},
+            "runs": [outcome.as_dict() for outcome in self.outcomes],
+            "violations": [
+                {
+                    "scenario": outcome.scenario,
+                    "seed": outcome.seed,
+                    **violation.as_dict(),
+                }
+                for outcome in self.outcomes
+                for violation in outcome.violations
+            ],
+            "failures": [failure.as_dict() for failure in self.failures],
+            "infra_failures": [
+                failure.as_dict() for failure in self.infra_failures
+            ],
+        }
+
+
+def run_dist_campaign(
+    seeds: Sequence[int],
+    scenario_names: Optional[Sequence[str]] = None,
+    jobs: Union[int, str, None] = "1",
+    timeout_s: Optional[float] = None,
+    retries: int = 1,
+    progress: Optional[Callable[[DistOutcome], None]] = None,
+    n_shards: int = 2,
+    n_packets: int = 48,
+    n_flows: int = 4,
+    deadline_s: float = 90.0,
+) -> DistCampaignReport:
+    """Sweep ``seeds`` x the named fault scenarios (default: all)."""
+    names = list(scenario_names) if scenario_names else sorted(DIST_SCENARIOS)
+    for name in names:
+        if name not in DIST_SCENARIOS:
+            raise ValueError(f"unknown dist scenario {name!r}")
+    items = [
+        _DistItem(
+            scenario=name,
+            seed=seed,
+            n_shards=n_shards,
+            n_packets=n_packets,
+            n_flows=n_flows,
+            deadline_s=deadline_s,
+        )
+        for name in names
+        for seed in seeds
+    ]
+    pool = CampaignPool(jobs=jobs, timeout_s=timeout_s, retries=retries)
+
+    def on_result(result) -> None:
+        if progress is not None and result.value[0] == "outcome":
+            progress(result.value[1])
+
+    pooled = pool.map(_campaign_work, items, progress=on_result)
+    report = DistCampaignReport(
+        infra_failures=list(pooled.infra_failures),
+        pool_stats=pooled.stats(),
+    )
+    for result in pooled.results:  # submission order == serial order
+        kind, payload = result.value
+        if kind == "outcome":
+            report.outcomes.append(payload)
+        else:
+            report.failures.append(payload)
+    return report

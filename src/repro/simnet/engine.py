@@ -578,6 +578,20 @@ class Simulator:
             self._now = until
         return self._now
 
+    def next_event_time(self) -> Optional[float]:
+        """Due time of the earliest pending work, or None when idle.
+
+        The distributed shard loop (repro.dist) paces virtual time against
+        the wall clock and needs to know how long it may block on a socket
+        before the simulation has something to do: a pending microtask is
+        due *now*; otherwise the heap head bounds the sleep.
+        """
+        if self._micro:
+            return self._now
+        if self._heap:
+            return self._heap[0][0]
+        return None
+
     def run_process(self, generator: Generator, name: str = "") -> Any:
         """Start a process, run until *it* completes, return its value.
 

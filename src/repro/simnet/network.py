@@ -133,6 +133,13 @@ class Network:
         self.rpc_gaveups = 0
         self._partition: Optional[Dict[str, int]] = None  # endpoint -> group
         self._degradations: List[Degradation] = []
+        # Distributed bridging hook (repro.dist, DESIGN.md §13): when an
+        # envelope reaches an endpoint nobody registered locally, the
+        # default route may claim it (returns True) — the shard bridge uses
+        # this to put store-bound traffic on the wire. Unclaimed envelopes
+        # still land in drops["unregistered"].
+        self.default_route: Optional[Callable[[Envelope], bool]] = None
+        self.bridged = 0
 
     @property
     def dropped(self) -> int:
@@ -325,5 +332,9 @@ class Network:
             callback(envelope)
             self.delivered += 1
             return
-        # no such endpoint (e.g. crashed and unregistered)
+        # no such endpoint: offer it to the distributed bridge before
+        # declaring it a drop (e.g. crashed and unregistered)
+        if self.default_route is not None and self.default_route(envelope):
+            self.bridged += 1
+            return
         self.drops["unregistered"] += 1

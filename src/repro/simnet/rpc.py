@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import Any, Dict, Generator, Optional, Tuple
+from typing import Any, Callable, Dict, Generator, Optional, Tuple
 
 from repro.analysis import runtime as _sanitize
 from repro.simnet.engine import Channel, Event, Simulator
@@ -102,6 +102,11 @@ class RpcEndpoint:
         # window — un-ACK'd clients retransmit to the successor instead of
         # trusting an instance that is about to be torn down.
         self.mute_output = False
+        # Selective lame-duck: when set, responses whose *request* matches
+        # the predicate are dropped while everything else keeps flowing.
+        # Store scale-out uses this to mute ACKs for one migrating vertex's
+        # keys without taking the whole node out of service.
+        self.mute_filter: Optional[Callable[[RpcRequest], bool]] = None
         # Deterministic per-endpoint jitter source for retransmission
         # backoff: seeded from the endpoint name and the network seed, so a
         # rerun with the same seeds retransmits at identical instants.
@@ -253,6 +258,8 @@ class RpcEndpoint:
     def respond(self, request: RpcRequest, value: Any, ok: bool = True) -> None:
         """Answer ``request`` (server side)."""
         if self.mute_output:
+            return
+        if self.mute_filter is not None and self.mute_filter(request):
             return
         self.network.send(
             self.name, request.src, _Wire("response", request.request_id, value, ok=ok)

@@ -206,6 +206,15 @@ class StoreClient:
     # How many consecutive Overloaded rejections a blocking call absorbs
     # (with exponential backoff) before it is treated like an RPC give-up.
     OVERLOAD_RETRY_BUDGET = 64
+    # Flush retransmission backoff: each un-ACK'd reissue waits
+    # base * FLUSH_BACKOFF^attempt (exponent capped) before the next
+    # timeout check. A *fixed* re-arm interval melts down once the store's
+    # round-trip latency exceeds it: every pending flush reissues each
+    # interval, the store's inbound backlog grows, replies slip past the
+    # next timeout, and the storm feeds itself (congestion collapse —
+    # observed on the real-socket fabric, where latency is real).
+    FLUSH_BACKOFF = 1.5
+    FLUSH_BACKOFF_CAP = 8  # max multiplier 1.5**8 ~ 25.6x the base timeout
 
     def _blocking_call(self, storage_key: str, payload: Any) -> Generator:
         """Issue a blocking RPC to the store instance holding ``storage_key``.
@@ -491,8 +500,11 @@ class StoreClient:
             lambda event: self._on_flush_reply(ack_id, request, attempt, event)
         )
         if self.retransmit_timeout_us is not None:
+            delay = self.retransmit_timeout_us * (
+                self.FLUSH_BACKOFF ** min(attempt, self.FLUSH_BACKOFF_CAP)
+            )
             self.sim.schedule(
-                self.retransmit_timeout_us, self._maybe_retransmit, ack_id, request, attempt
+                delay, self._maybe_retransmit, ack_id, request, attempt
             )
 
     def _on_flush_reply(self, ack_id: int, request: OpRequest, attempt: int,

@@ -10,7 +10,7 @@ same routing.
 from __future__ import annotations
 
 import zlib
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from repro.store.datastore import DatastoreInstance
 from repro.store.keys import parse_storage_key
@@ -26,10 +26,15 @@ class StoreCluster:
         self._instances: Dict[str, DatastoreInstance] = {i.name: i for i in instances}
         self._order: List[str] = [i.name for i in instances]
         self._vertex_assignment: Dict[str, str] = {}
+        # Scale-out replicas: reachable only through vertex pins, never
+        # part of the stable-hash ring (``_order``). Kept after the ring
+        # so state audits that fold ``instances`` into one map see the
+        # replica's (authoritative) copy of a migrated key last.
+        self._replicas: List[str] = []
 
     @property
     def instances(self) -> List[DatastoreInstance]:
-        return [self._instances[name] for name in self._order]
+        return [self._instances[name] for name in self._order + self._replicas]
 
     def assign_vertex(self, vertex_id: str, store_name: str) -> None:
         """Pin all of a vertex's state to one store instance."""
@@ -66,9 +71,39 @@ class StoreCluster:
         del self._instances[old_name]
         self._instances[replacement.name] = replacement
         self._order = [replacement.name if n == old_name else n for n in self._order]
+        self._replicas = [
+            replacement.name if n == old_name else n for n in self._replicas
+        ]
         for vertex, store in list(self._vertex_assignment.items()):
             if store == old_name:
                 self._vertex_assignment[vertex] = replacement.name
+
+    def add_replica(
+        self, replica: DatastoreInstance, vertices: Sequence[str] = ()
+    ) -> None:
+        """Register a scale-out replica and re-pin ``vertices`` to it.
+
+        The replica deliberately does NOT join the stable-hash ring:
+        growing ``_order`` would remap every unpinned vertex's keys to new
+        homes nobody migrated (silent state loss). Traffic reaches the
+        replica exclusively through vertex pins, so adding one is a pure
+        routing change for exactly the vertices being re-homed — the
+        elastic analogue of :meth:`replace_instance`'s same-slot swap.
+        """
+        if replica.name in self._instances:
+            raise ValueError(f"store instance {replica.name!r} already registered")
+        self._instances[replica.name] = replica
+        self._replicas.append(replica.name)
+        for vertex in vertices:
+            self.assign_vertex(vertex, replica.name)
+
+    def vertices_assigned_to(self, store_name: str) -> List[str]:
+        """Vertices currently pinned to ``store_name`` (sorted)."""
+        return sorted(
+            vertex
+            for vertex, store in self._vertex_assignment.items()
+            if store == store_name
+        )
 
     def unassign_vertex(self, vertex_id: str) -> None:
         """Drop a vertex's pin (maintenance-director vertex removal).

@@ -32,6 +32,7 @@ from repro.simnet.engine import Channel, Process, Simulator
 from repro.util import stable_hash
 from repro.simnet.network import Network
 from repro.simnet.rpc import RpcEndpoint, RpcRequest
+from repro.store.keys import vertex_of_key
 from repro.store.operations import OperationRegistry, default_registry
 from repro.store.protocol import (
     BatchedOpRequest,
@@ -185,6 +186,19 @@ class DatastoreInstance:
         # clock -> update-log keys logged under it, so the per-packet
         # prune on delete is O(keys touched), not O(log size)
         self._log_clocks: Dict[int, List[Tuple[str, int]]] = {}
+        # Clocks whose duplicate-suppression log was pruned. A prune means
+        # the root saw the packet's full commit vector, so *every* update
+        # with that clock was already applied — any copy that arrives later
+        # (a retransmission that was in flight when the ACK-triggered prune
+        # fired; real-socket deployments queue frames for a long time) is a
+        # duplicate and must be emulated, not re-applied. Without this
+        # memory the prune itself would reopen the exactly-once window it
+        # exists to close.
+        self._pruned_clocks: Set[int] = set()
+        # Vertices whose state has been migrated to a scale-out replica:
+        # requests for their keys are still committed (so the catch-up diff
+        # stays exact) but never ACK'd — see enter_vertex_lame_duck.
+        self._lame_duck_vertices: Set[str] = set()
         # per-key TS metadata: key -> {instance -> clock of last executed
         # op}. The paper's TS is global per store instance (Figure 7 has a
         # single shared object, where the two coincide); per-key TS is the
@@ -237,6 +251,75 @@ class DatastoreInstance:
         retransmit it, and no one would copy it forward.
         """
         self.endpoint.mute_output = True
+
+    def enter_vertex_lame_duck(self, vertex_id: str) -> None:
+        """Per-vertex :meth:`enter_lame_duck`: mute ACKs for one vertex.
+
+        Store scale-out re-homes a single vertex's keys to a new replica
+        while this node keeps serving everything else, so the whole-node
+        mute is too blunt. From this instant, requests touching the
+        migrating vertex's keys are still applied and logged (a request
+        already in our queues may carry an update the replica's snapshot
+        missed — committing it keeps the identity observable) but the
+        response is dropped: the un-ACK'd client retransmits, re-resolves
+        through the cluster map, and lands on the replica, where the
+        seeded dedup log emulates anything the snapshot already covered.
+
+        The mute is permanent by design: routing never points a migrated
+        vertex back at this node, so a late straggler can only create
+        phantom state here — which the mute keeps invisible (no ACK, no
+        read reply) until :meth:`forget_vertex` garbage-collects it.
+        """
+        self._lame_duck_vertices.add(vertex_id)
+        self.endpoint.mute_filter = self._migrating_request
+
+    def _migrating_request(self, request: RpcRequest) -> bool:
+        """True when ``request`` touches a vertex this node migrated away."""
+        payload = request.payload
+        if isinstance(payload, BatchedOpRequest):
+            # The whole batch ACK is withheld if ANY entry was migrated:
+            # the client's retransmission re-groups entries by destination
+            # per attempt, so migrated entries reach the replica and the
+            # rest re-land here, where the dedup log emulates them.
+            return any(
+                vertex_of_key(entry.key) in self._lame_duck_vertices
+                for entry in payload.entries
+            )
+        if isinstance(payload, BulkOwnerMove):
+            return any(
+                vertex_of_key(key) in self._lame_duck_vertices
+                for key in payload.keys
+            )
+        key = getattr(payload, "key", None)
+        if key is None:
+            return False
+        return vertex_of_key(key) in self._lame_duck_vertices
+
+    def forget_vertex(self, vertex_id: str) -> int:
+        """Garbage-collect a migrated vertex's state once traffic quiesced.
+
+        The vertex stays in the lame-duck set (the mute is the permanent
+        backstop against stragglers); only the dead copies of its data,
+        ownership, TS metadata, dedup log and watcher registrations are
+        dropped, so state audits that fold every store's keys into one map
+        never see the stale pre-migration values. Returns the number of
+        data keys dropped.
+        """
+        doomed = [k for k in self._data if vertex_of_key(k) == vertex_id]
+        for key in doomed:
+            del self._data[key]
+            self._owners.pop(key, None)
+            self._ts.pop(key, None)
+        for log_key in [
+            lk for lk in self._update_log if vertex_of_key(lk[0]) == vertex_id
+        ]:
+            # _log_clocks entries stay; _prune pops from _update_log with
+            # a default, so a dangling index entry is harmless
+            del self._update_log[log_key]
+        for watchers in (self._value_watchers, self._owner_watchers):
+            for key in [k for k in watchers if vertex_of_key(k) == vertex_id]:
+                del watchers[key]
+        return len(doomed)
 
     def fail(self) -> None:
         """Fail-stop: all in-memory state vanishes; endpoint goes dark.
@@ -529,6 +612,18 @@ class DatastoreInstance:
             return OpResult(value=None, ts=dict(self._ts.get(key, {})), emulated=False)
 
         if self.dedup_enabled and op.log_update and op.clock:
+            if op.clock in self._pruned_clocks:
+                # Straggler duplicate of an already-pruned packet: the prune
+                # proves every update with this clock committed, and the
+                # original's result was consumed long ago (nothing can be
+                # awaiting this copy), so the logged value is not needed.
+                self.stats.ops_emulated += 1
+                return OpResult(
+                    value=None,
+                    ts=dict(self._ts.get(key, {})),
+                    emulated=True,
+                    state=copy.deepcopy(self._data.get(key)) if op.return_state else None,
+                )
             committed = self._update_log.get((key, op.clock))
             if committed is not None and op.seq in committed:
                 # Duplicate: an update with this (key, clock, seq) identity
@@ -563,7 +658,17 @@ class DatastoreInstance:
                 ts[op.instance] = op.clock
         if self.dedup_enabled and op.log_update and op.clock:
             self._log_committed(key, op.clock, op.seq, return_value)
-        if op.vector_tag and op.clock and self.root_endpoint:
+        if (
+            op.vector_tag
+            and op.clock
+            and self.root_endpoint
+            # Per-vertex lame duck: the op is committed (keeps the
+            # migration's catch-up diff exact) but neither ACK'd nor
+            # signalled — the client's retransmission will apply and
+            # signal from the replica, and signalling from both sides
+            # would corrupt the root's commit-vector parity.
+            and vertex_of_key(key) not in self._lame_duck_vertices
+        ):
             # multi-root deployments name roots "root{id}"; the clock's high
             # bits say which root logged this packet
             destination = self.root_endpoint.format(root_id=_clock_root_id(op.clock))
@@ -646,6 +751,13 @@ class DatastoreInstance:
                 moved += 1
                 if suite is not None:
                     suite.note_store_transfer(self.sim, key, request.new_instance, "bulk_move")
+        if self._lame_duck_vertices and any(
+            vertex_of_key(key) in self._lame_duck_vertices
+            for key in request.keys
+        ):
+            # migrated keys: the mover's un-ACK'd request retransmits to
+            # the replica, which fires the rendezvous callback instead
+            return moved
         if request.notify_key:
             for watcher in sorted(self._owner_watchers.get(request.notify_key, ())):
                 self.endpoint.send(
@@ -672,12 +784,20 @@ class DatastoreInstance:
         suite = _sanitize.ACTIVE
         if suite is not None:
             suite.note_store_transfer(self.sim, key, owner, request.action)
-        for watcher in sorted(self._owner_watchers.get(key, ())):
-            self.endpoint.send(watcher, CallbackMessage(key=key, kind="owner", owner=owner))
-            self.stats.callbacks_sent += 1
+        if not (
+            self._lame_duck_vertices
+            and vertex_of_key(key) in self._lame_duck_vertices
+        ):
+            for watcher in sorted(self._owner_watchers.get(key, ())):
+                self.endpoint.send(watcher, CallbackMessage(key=key, kind="owner", owner=owner))
+                self.stats.callbacks_sent += 1
         return owner
 
     def _notify_value_watchers(self, key: str, value: Any, exclude: str = "") -> None:
+        if self._lame_duck_vertices and vertex_of_key(key) in self._lame_duck_vertices:
+            # a migrated key's phantom writes must not push stale values
+            # into caches — the replica owns the watchers now
+            return
         for watcher in sorted(self._value_watchers.get(key, ())):
             if watcher == exclude:
                 continue
@@ -705,6 +825,7 @@ class DatastoreInstance:
 
     def _prune(self, clock: int) -> None:
         """Drop duplicate-suppression logs for a packet that left the chain."""
+        self._pruned_clocks.add(clock)
         for log_key in self._log_clocks.pop(clock, ()):
             self._update_log.pop(log_key, None)
         if self._nondet:

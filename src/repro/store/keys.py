@@ -48,3 +48,13 @@ def parse_storage_key(raw: str) -> Tuple[str, str, str]:
     """Split a flat storage key back into (vertex, object, flow) parts."""
     vertex, obj, flow = raw.split("\x1f")
     return vertex, obj, flow
+
+
+def vertex_of_key(raw: str) -> str:
+    """Vertex part of a storage key; a bare key is its own "vertex".
+
+    Mirrors :meth:`StoreCluster.endpoint_for_key`'s routing view, so any
+    code slicing a store's state by vertex (scale-out migration, the
+    per-vertex lame duck) agrees with where the router sends that key.
+    """
+    return raw.split("\x1f", 1)[0]

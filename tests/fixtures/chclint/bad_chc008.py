@@ -1,0 +1,12 @@
+"""Opens raw sockets / uses bare pickle outside repro.dist.transport (CHC008)."""
+
+import pickle
+import socket
+from pickle import loads
+from socket import AF_INET, create_connection
+
+
+def hostile_wire(host, port, payload):
+    conn = socket.create_connection((host, port))
+    conn.sendall(pickle.dumps(payload))
+    return loads(conn.recv(4096))

@@ -169,6 +169,40 @@ class TestRules:
         )
         assert lint.check_source(source, Path("core/mod.py")) == []
 
+    def test_chc008_raw_transport_imports(self):
+        findings = fixture_findings("bad_chc008.py")
+        codes = [f.code for f in findings]
+        assert codes and set(codes) == {"CHC008"}
+        # import pickle / import socket / from pickle / from socket
+        assert len(findings) == 4
+        assert {f.line for f in findings} == {3, 4, 5, 6}
+        messages = " ".join(f.message for f in findings)
+        assert "repro.dist.transport" in messages
+
+    def test_chc008_exempt_in_dist_transport(self):
+        source = "import socket\nimport pickle\n"
+        # the framing layer is the one sanctioned home for raw sockets;
+        # the same imports anywhere else are flagged
+        assert lint.check_source(source, Path("dist/transport.py")) == []
+        flagged = lint.check_source(source, Path("dist/shard.py"))
+        assert [f.code for f in flagged] == ["CHC008", "CHC008"]
+        flagged = lint.check_source(source, Path("store/transport.py"))
+        assert [f.code for f in flagged] == ["CHC008", "CHC008"]
+
+    def test_chc008_submodule_and_alias_forms(self):
+        assert [
+            f.code
+            for f in lint.check_source("import socket as s\n", Path("mod.py"))
+        ] == ["CHC008"]
+        assert [
+            f.code
+            for f in lint.check_source(
+                "from socket import socket\n", Path("mod.py")
+            )
+        ] == ["CHC008"]
+        # socketserver is a different module, not a raw-socket import
+        assert lint.check_source("import socketserver\n", Path("mod.py")) == []
+
 
 class TestMechanics:
     def test_good_fixture_is_clean(self):

@@ -297,7 +297,9 @@ class TestRetransmission:
 
         def body():
             yield from client.update("counter", None, "incr", 1)
-            yield sim.timeout(10_000)
+            # generous window: retransmissions back off exponentially
+            # (FLUSH_BACKOFF), so attempts spread out as they accumulate
+            yield sim.timeout(60_000)
 
         drive(sim, body())
         # retransmitted until delivered, applied exactly once (the store

@@ -85,6 +85,36 @@ class TestClusterRouting:
         with pytest.raises(KeyError):
             cluster.replace_instance("s1", replacement)  # old name is gone
 
+    def test_add_replica_pins_without_touching_the_hash_ring(self, sim):
+        cluster = _cluster(sim, n=3)
+        before = {
+            vertex: cluster.endpoint_for_key(
+                StateKey(vertex, "obj").storage_key()
+            )
+            for vertex in self.ANAGRAMS
+        }
+        network = Network(sim, Link(latency_us=1.0), seed=3)
+        replica = DatastoreInstance(sim, network, "s0el1")
+        cluster.add_replica(replica, vertices=["nat1"])
+        # the pinned vertex routes to the replica...
+        assert cluster.endpoint_for_key(
+            StateKey("nat1", "obj").storage_key()
+        ) == "s0el1"
+        # ...and every unpinned vertex keeps its pre-replica hash home
+        # (the replica never joins the ring, so nothing else remapped)
+        for vertex in self.ANAGRAMS:
+            if vertex == "nat1":
+                continue
+            assert cluster.endpoint_for_key(
+                StateKey(vertex, "obj").storage_key()
+            ) == before[vertex]
+        assert [i.name for i in cluster.instances] == [
+            "s0", "s1", "s2", "s0el1"
+        ]
+        assert cluster.vertices_assigned_to("s0el1") == ["nat1"]
+        with pytest.raises(ValueError):
+            cluster.add_replica(replica)  # already registered
+
 
 class TestScalingLogicEndToEnd:
     def test_manager_drives_scale_up_then_scale_down(self, sim):

@@ -113,14 +113,25 @@ class TestDuplicateSuppression:
         assert store.peek("k") == 2
         assert store.logged_clocks("k") == []
 
-    def test_prune_forgets_clock(self, sim, store, caller):
+    def test_prune_drops_log_but_remembers_clock(self, sim, store, caller):
         call(sim, caller, OpRequest(key="k", op="incr", args=(1,), instance="a", clock=5))
         assert store.logged_clocks("k") == [5]
         caller.send("store0", PruneRequest(clock=5))
         sim.run()
+        # the per-op duplicate-suppression log is reclaimed...
         assert store.logged_clocks("k") == []
-        # after pruning, the same identity applies fresh (packet left chain)
-        call(sim, caller, OpRequest(key="k", op="incr", args=(1,), instance="a", clock=5))
+        # ...but a straggler copy with the pruned clock is still emulated,
+        # not re-applied: the prune fired because the root saw the full
+        # commit vector, so every update with this clock already committed.
+        # (A retransmission can be in flight when the prune lands — real
+        # sockets queue frames for far longer than the prune grace period.)
+        straggler = call(
+            sim, caller, OpRequest(key="k", op="incr", args=(1,), instance="a", clock=5)
+        )
+        assert straggler.emulated
+        assert store.peek("k") == 1
+        # a genuinely new packet (fresh clock) still applies
+        call(sim, caller, OpRequest(key="k", op="incr", args=(1,), instance="a", clock=6))
         assert store.peek("k") == 2
 
 
@@ -297,3 +308,67 @@ class TestLocks:
         b_event = next(e for e in events if e[0] == "b-locked")
         assert b_event[2] == 1  # b reads a's committed write
         assert store.peek("k") == 2
+
+
+class TestVertexLameDuck:
+    """Per-vertex commit-but-don't-ACK (store scale-out migration)."""
+
+    VKEY = "v\x1fcount\x1f"  # vertex "v", shared object "count"
+
+    def test_migrating_vertex_commits_without_acks(self, sim, store, caller):
+        call(sim, caller, OpRequest(key=self.VKEY, op="incr", args=(1,), instance="a"))
+        store.enter_vertex_lame_duck("v")
+        ack = caller.call_event(
+            "store0",
+            OpRequest(key=self.VKEY, op="incr", args=(1,), instance="a", blocking=False),
+        )
+        sim.run(until=sim.now + 1_000.0)
+        assert not ack.triggered  # the ACK was dropped on the wire...
+        assert store.peek(self.VKEY) == 2  # ...but the op was committed
+
+    def test_other_vertices_keep_full_service(self, sim, store, caller):
+        store.enter_vertex_lame_duck("v")
+        result = call(sim, caller, OpRequest(key="other", op="incr", args=(3,), instance="a"))
+        assert result.value == 3
+        assert call(sim, caller, ReadRequest(key="other")).value == 3
+
+    def test_migrating_vertex_reads_are_muted_too(self, sim, store, caller):
+        call(sim, caller, OpRequest(key=self.VKEY, op="incr", args=(1,), instance="a"))
+        store.enter_vertex_lame_duck("v")
+        reply = caller.call_event("store0", ReadRequest(key=self.VKEY))
+        sim.run(until=sim.now + 1_000.0)
+        assert not reply.triggered
+
+    def test_lame_duck_vertex_stops_signalling_root(self, sim, store, caller):
+        call(
+            sim, caller,
+            OpRequest(key=self.VKEY, op="incr", args=(1,), instance="a",
+                      clock=3, vector_tag=1),
+        )
+        signalled = store.stats.commit_signals
+        store.enter_vertex_lame_duck("v")
+        caller.call_event(
+            "store0",
+            OpRequest(key=self.VKEY, op="incr", args=(1,), instance="a",
+                      clock=4, vector_tag=1, blocking=False),
+        )
+        sim.run(until=sim.now + 1_000.0)
+        assert store.peek(self.VKEY) == 2
+        assert store.stats.commit_signals == signalled  # no double-signal
+
+    def test_forget_vertex_gcs_state_but_keeps_the_mute(self, sim, store, caller):
+        call(sim, caller, OpRequest(key=self.VKEY, op="incr", args=(1,),
+                                    instance="a", clock=9))
+        call(sim, caller, OpRequest(key="other", op="incr", args=(1,), instance="a"))
+        store.enter_vertex_lame_duck("v")
+        assert store.forget_vertex("v") == 1
+        assert store.keys() == ["other"]
+        assert store.logged_clocks(self.VKEY) == []
+        # the mute is the permanent backstop: a straggler's phantom write
+        # is committed but stays invisible (no ACK)
+        ack = caller.call_event(
+            "store0",
+            OpRequest(key=self.VKEY, op="incr", args=(1,), instance="a", blocking=False),
+        )
+        sim.run(until=sim.now + 1_000.0)
+        assert not ack.triggered

@@ -1,0 +1,374 @@
+"""Transport-layer unit tests (DESIGN.md §13): codec, framing, real TCP
+connections, and — at socketpair scale, no fabric — the PR's core claim
+that the in-process delivery semantics (flush retransmission against the
+dedup log, ``RpcGaveUp``) absorb *real* socket loss unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.dist.shard import RemoteStoreHandle
+from repro.dist.transport import (
+    CodecError,
+    Connection,
+    FrameDecoder,
+    Listener,
+    data_frame,
+    decode_body,
+    encode_frame,
+    encode_value,
+    make_socketpair,
+)
+from repro.simnet.engine import Simulator
+from repro.simnet.network import Link, Network
+from repro.simnet.rpc import RpcGaveUp, _Wire
+from repro.store.client import StoreClient
+from repro.store.cluster import StoreCluster
+from repro.store.datastore import DatastoreInstance
+from repro.store.protocol import OpRequest
+from tests.conftest import default_specs, make_packet
+
+FLOW = ("10.0.0.1", "52.0.0.1", 1234, 80, 6)
+
+
+def roundtrip(body):
+    frames = FrameDecoder().feed(encode_frame(body))
+    assert len(frames) == 1
+    return frames[0]
+
+
+class TestCodec:
+    def test_scalars_and_containers(self):
+        for value in (None, True, False, 0, -7, 3.25, "x", ["a", 1], [[1], [2]]):
+            assert roundtrip(value) == value
+
+    def test_tuples_and_nonstring_dict_keys_survive(self):
+        body = {("k", 5): (1, 2, "three"), 9: {"nested": (None,)}}
+        out = roundtrip(body)
+        assert out == body
+        assert isinstance(out[("k", 5)], tuple)
+
+    def test_wire_envelope_with_op_request(self):
+        op = OpRequest(key="k", op="incr", args=(1,), instance="nf-0", clock=9, seq=2)
+        frame = roundtrip(data_frame("nf-0", "store0", _Wire("request", 4, op)))
+        assert frame["k"] == "d" and frame["s"] == "nf-0" and frame["t"] == "store0"
+        wire = frame["p"]
+        assert isinstance(wire, _Wire) and wire.request_id == 4
+        inner = wire.payload
+        assert isinstance(inner, OpRequest)
+        assert (inner.key, inner.op, inner.args, inner.clock, inner.seq) == (
+            "k", "incr", (1,), 9, 2,
+        )
+
+    def test_packet_roundtrip(self):
+        packet = make_packet(clock=17)
+        out = roundtrip(packet)
+        assert out.five_tuple == packet.five_tuple
+        assert out.clock == 17
+
+    def test_unregistered_type_is_a_codec_error_not_pickled(self):
+        class Sneaky:
+            pass
+
+        with pytest.raises(CodecError):
+            encode_value(Sneaky())
+
+    def test_unknown_class_tag_and_untagged_dict_rejected(self):
+        import json as _json
+
+        with pytest.raises(CodecError):
+            decode_body(_json.dumps({"__c__": "NoSuchMessage", "a": []}).encode())
+        with pytest.raises(CodecError):
+            decode_body(_json.dumps({"plain": 1}).encode())
+
+
+class TestFrameDecoder:
+    def test_byte_at_a_time_reassembly(self):
+        wire = encode_frame("hello") + encode_frame([1, 2])
+        decoder = FrameDecoder()
+        frames = []
+        for i in range(len(wire)):
+            frames.extend(decoder.feed(wire[i:i + 1]))
+        assert frames == ["hello", [1, 2]]
+
+    def test_many_frames_in_one_feed(self):
+        wire = b"".join(encode_frame(i) for i in range(20))
+        assert FrameDecoder().feed(wire) == list(range(20))
+
+
+# ---------------------------------------------------------------------------
+# real TCP: Connection / Listener / Peer
+# ---------------------------------------------------------------------------
+
+
+def pump_until(conn, listener, peers, predicate, timeout_s=5.0):
+    """Drive both ends of a real TCP pair until ``predicate()`` holds."""
+    inbound_conn, inbound_peers = [], []
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        now = time.monotonic()
+        inbound_conn.extend(conn.pump(now))
+        peers.extend(listener.accept_ready(now))
+        for peer in peers:
+            inbound_peers.extend(peer.pump())
+        if predicate():
+            return inbound_conn, inbound_peers
+        time.sleep(0.005)
+    raise AssertionError("pump_until timed out")
+
+
+class TestRealTcp:
+    def test_roundtrip_and_counters(self):
+        listener = Listener()
+        peers = []
+        conn = Connection(
+            "127.0.0.1",
+            listener.port,
+            seed=3,
+            on_connect=lambda c: c.send_obj({"k": "c", "b": {"type": "hello"}}),
+        )
+        try:
+            _, got = pump_until(
+                conn, listener, peers, lambda: any(peers) and peers[0].counters.frames_received
+            )
+            assert got[0]["b"]["type"] == "hello"
+            peers[0].send_obj(data_frame("store0", "nf-0", "pong"))
+            got_c, _ = pump_until(
+                conn, listener, peers, lambda: conn.counters.frames_received
+            )
+            assert got_c[0]["p"] == "pong"
+            assert conn.counters.connects == 1
+            assert conn.counters.resets == 0
+        finally:
+            conn.close()
+            listener.close()
+
+    def test_rst_then_reconnect_redelivers_queued_frames(self):
+        listener = Listener()
+        peers = []
+        hellos = []
+        conn = Connection(
+            "127.0.0.1",
+            listener.port,
+            seed=5,
+            on_connect=lambda c: hellos.append(1) or c.send_obj(
+                {"k": "c", "b": {"type": "hello"}}
+            ),
+        )
+        try:
+            pump_until(conn, listener, peers, lambda: len(peers) == 1)
+            # hard reset: SO_LINGER 0 -> client observes a real ECONNRESET
+            peers[0].close(reset=True)
+            pump_until(conn, listener, peers, lambda: conn.counters.resets >= 1)
+            # a frame sent during the outage queues and is delivered whole
+            # on the next connection, never lost and never torn mid-frame
+            conn.send_obj(data_frame("nf-0", "store0", "after-outage"))
+            _, got = pump_until(
+                conn,
+                listener,
+                peers,
+                lambda: len(peers) == 2 and peers[1].counters.frames_received >= 2,
+                timeout_s=8.0,
+            )
+            payloads = [f.get("p") for f in got if isinstance(f, dict)]
+            assert "after-outage" in payloads
+            assert conn.counters.resets >= 1
+            assert conn.counters.reconnects == 1
+            assert len(hellos) == 2  # HELLO replayed after every (re)connect
+        finally:
+            conn.close()
+            listener.close()
+
+    def test_refuse_window_is_a_visible_partition(self):
+        listener = Listener()
+        listener.refuse_until_real = time.monotonic() + 0.15
+        peers = []
+        conn = Connection("127.0.0.1", listener.port, seed=9)
+        try:
+            pump_until(
+                conn,
+                listener,
+                peers,
+                lambda: listener.refused >= 1 and conn.counters.resets >= 1,
+                timeout_s=5.0,
+            )
+            # after the window closes the client gets back in on its own
+            pump_until(conn, listener, peers, lambda: len(peers) >= 1, timeout_s=8.0)
+            assert conn.counters.reconnects >= 1
+        finally:
+            conn.close()
+            listener.close()
+
+    def test_send_queue_overflow_counts_drops(self):
+        conn = Connection("127.0.0.1", 1, max_queue=2)  # never connected
+        for i in range(5):
+            conn.send_obj(i)
+        assert conn.counters.tx_dropped == 3
+        conn.close()
+
+
+# ---------------------------------------------------------------------------
+# engine semantics over a real socketpair (no fabric)
+# ---------------------------------------------------------------------------
+
+
+class SocketpairBridge:
+    """The shard bridge pattern at socketpair scale: a client-side engine
+    and a real :class:`DatastoreInstance` in separate Network objects,
+    every envelope between them crossing a real (AF_UNIX) socket as a
+    codec frame. Loss is scripted per direction; a closed peer surfaces
+    as real OSErrors on send and EOF on read, like any torn socket."""
+
+    def __init__(self, sim, seed=7):
+        self.sock_client, self.sock_store = make_socketpair()
+        self.sock_client.setblocking(False)
+        self.sock_store.setblocking(False)
+        self.net_client = Network(sim, Link(latency_us=14.0), seed=seed)
+        self.net_store = Network(sim, Link(latency_us=14.0), seed=seed ^ 1)
+        self.store = DatastoreInstance(sim, self.net_store, "store0", n_threads=4)
+        self.drop_requests = 0  # swallow next N client->store frames
+        self.drop_replies = 0  # swallow next N store->client frames
+        self.tx_errors = 0  # real socket errors on send (peer closed)
+        self._decoder_to_store = FrameDecoder()
+        self._decoder_to_client = FrameDecoder()
+        self.net_client.default_route = self._client_out
+        self.net_store.default_route = self._store_out
+
+    def _client_out(self, envelope):
+        if envelope.dst != "store0":
+            return False
+        if self.drop_requests > 0:
+            self.drop_requests -= 1
+            return True  # lost on the wire
+        self._send(self.sock_client, envelope)
+        return True
+
+    def _store_out(self, envelope):
+        if self.drop_replies > 0:
+            self.drop_replies -= 1
+            return True
+        self._send(self.sock_store, envelope)
+        return True
+
+    def _send(self, sock, envelope):
+        frame = encode_frame(
+            data_frame(envelope.src, envelope.dst, envelope.payload)
+        )
+        try:
+            sock.sendall(frame)
+        except OSError:
+            self.tx_errors += 1
+
+    def pump(self):
+        moved = 0
+        for sock, decoder, net in (
+            (self.sock_store, self._decoder_to_store, self.net_store),
+            (self.sock_client, self._decoder_to_client, self.net_client),
+        ):
+            while True:
+                try:
+                    data = sock.recv(65536)
+                except OSError:
+                    break
+                if not data:
+                    break
+                for frame in decoder.feed(data):
+                    if isinstance(frame, dict) and frame.get("k") == "d":
+                        net.send(frame["s"], frame["t"], frame["p"])
+                        moved += 1
+        return moved
+
+    def close(self):
+        for sock in (self.sock_client, self.sock_store):
+            try:
+                sock.close()
+            except OSError:
+                pass
+
+
+def run_bridged(sim, bridge, until, step=50.0):
+    """Advance virtual time in slices, moving socket frames between them."""
+    idle = 0
+    while sim.now < until and idle < 4:
+        before = sim.now
+        sim.run(until=min(before + step, until))
+        moved = bridge.pump()
+        idle = idle + 1 if (sim.now == before and not moved) else 0
+
+
+@pytest.fixture
+def bridge(sim):
+    b = SocketpairBridge(sim)
+    yield b
+    b.close()
+
+
+@pytest.fixture
+def wire_client(sim, bridge):
+    cluster = StoreCluster([RemoteStoreHandle("store0")])
+    return StoreClient(
+        sim,
+        bridge.net_client,
+        cluster,
+        vertex_id="nf",
+        instance_id="nf-0",
+        specs=default_specs(),
+        wait_for_acks=False,
+        retransmit_timeout_us=200.0,
+    )
+
+
+class TestEngineOverRealSockets:
+    def test_flush_survives_request_loss(self, sim, bridge, wire_client):
+        bridge.drop_requests = 2  # first send + first retransmission vanish
+        wire_client.begin_packet(make_packet(clock=11))
+
+        def body():
+            yield from wire_client.update("counter", None, "incr", 1)
+
+        sim.process(body())
+        run_bridged(sim, bridge, until=60_000)
+        key = wire_client._key("counter", None)[1]
+        assert bridge.store.peek(key) == 1  # applied exactly once
+        assert wire_client.stats.retransmissions >= 2
+        assert wire_client.stats.flushes_gave_up == 0
+        assert not wire_client._pending_acks
+
+    def test_ack_loss_dedups_at_store(self, sim, bridge, wire_client):
+        # the store applies the op but its ACK is lost: the retransmitted
+        # copy must be emulated from the dedup log, never re-applied
+        bridge.drop_replies = 1
+        wire_client.begin_packet(make_packet(clock=12))
+
+        def body():
+            yield from wire_client.update("counter", None, "incr", 1)
+
+        sim.process(body())
+        run_bridged(sim, bridge, until=60_000)
+        key = wire_client._key("counter", None)[1]
+        assert bridge.store.peek(key) == 1
+        assert bridge.store.stats.ops_emulated >= 1
+        assert wire_client.stats.retransmissions >= 1
+        assert not wire_client._pending_acks
+
+    def test_blocking_read_gives_up_when_peer_is_gone(self, sim, bridge, wire_client):
+        # abrupt close of the store-side socket: sends fail with a real
+        # OSError (EPIPE/ECONNRESET), no replies ever arrive, and the
+        # bounded retry budget converts the black hole into RpcGaveUp
+        bridge.sock_store.close()
+        outcome = {}
+
+        def body():
+            try:
+                outcome["value"] = yield from wire_client.read("flow_state", FLOW)
+            except RpcGaveUp as exc:
+                outcome["gaveup"] = exc
+
+        sim.process(body())
+        run_bridged(sim, bridge, until=2_000_000)
+        assert "gaveup" in outcome
+        assert bridge.net_client.rpc_gaveups == 1
+        assert bridge.tx_errors >= 1

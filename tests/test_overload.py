@@ -341,3 +341,81 @@ class TestAutoscaler:
         assert not off["violations"] and not on["violations"]
         assert on["scale_outs"] >= 1
         assert on["goodput_ratio"] > off["goodput_ratio"]
+
+
+class TestStoreElasticity:
+    """Store-side scale-out: rejections trip the hysteresis, a vertex is
+    re-homed onto a fresh replica, and the rejection rate drops."""
+
+    def test_rejections_drop_after_store_scale_out(self):
+        spec = OVERLOAD_SCENARIOS["store-hot"]
+        base = run_overload_scenario(spec, seed=0, autoscale=False)
+        elastic = run_overload_scenario(spec, seed=0, autoscale=True)
+        assert base.ok, [v.as_dict() for v in base.violations]
+        assert elastic.ok, [v.as_dict() for v in elastic.violations]
+        # degradation run: sustained admission-control rejections, no loss
+        assert base.store_overload_rejections > 0
+        assert base.autoscaler is None
+        # elastic run: exactly one store scale-out, with real state moved
+        assert elastic.autoscaler["store_scale_outs"] == 1
+        actions = [
+            a for a in elastic.autoscaler["actions"]
+            if a["kind"] == "store_scale_out"
+        ]
+        assert len(actions) == 1 and actions[0]["keys_moved"] > 0
+        # the point of the satellite: splitting the hot store sheds load
+        assert (
+            elastic.store_overload_rejections
+            < 0.95 * base.store_overload_rejections
+        )
+
+    def test_scale_out_re_homes_exactly_one_vertex(self):
+        spec = OVERLOAD_SCENARIOS["store-hot"]
+        collected = {}
+        outcome = run_overload_scenario(
+            spec, seed=0, autoscale=True,
+            collect_runtime=lambda rt: collected.update(rt=rt),
+        )
+        assert outcome.ok, [v.as_dict() for v in outcome.violations]
+        runtime = collected["rt"]
+        assert len(runtime.stores) == 2
+        original, replica = runtime.stores
+        action = next(
+            a for a in outcome.autoscaler["actions"]
+            if a["kind"] == "store_scale_out"
+        )
+        vertex = action["vertex"]
+        assert replica.name == action["instance"]
+        # routing: the migrated vertex is pinned to the replica, the rest
+        # kept their homes on the original node
+        assert runtime.store.vertices_assigned_to(replica.name) == [vertex]
+        others = [
+            v for v in ("entry", "mid", "exit") if v != vertex
+        ]
+        assert runtime.store.vertices_assigned_to(original.name) == sorted(others)
+        # state: the replica holds the vertex's keys; the original node
+        # garbage-collected its dead copies after the drain
+        assert any(key.startswith(vertex + "\x1f") for key in replica.keys())
+        assert not any(
+            key.startswith(vertex + "\x1f") for key in original.keys()
+        )
+        # the replica carries traffic, not just metadata
+        assert replica.stats.ops_applied > 0
+
+    def test_single_tenant_store_is_not_split(self):
+        # overload-burst chains entry+exit onto one store, but with
+        # max_stores=1 the watcher must skip rather than thrash
+        spec = OVERLOAD_SCENARIOS["store-hot"]
+        capped = type(spec)(
+            name=spec.name,
+            description=spec.description,
+            phases=spec.phases,
+            store_heavy=spec.store_heavy,
+            store_scale=spec.store_scale,
+            runtime_overrides=spec.runtime_overrides,
+            max_stores=1,
+        )
+        outcome = run_overload_scenario(capped, seed=0, autoscale=True)
+        assert outcome.ok, [v.as_dict() for v in outcome.violations]
+        assert outcome.autoscaler["store_scale_outs"] == 0
+        assert outcome.autoscaler["store_skipped"] > 0

@@ -1,0 +1,222 @@
+#!/usr/bin/env python
+"""Run the distributed-fabric fault campaign and record ``BENCH_dist.json``.
+
+Sweeps N seeds across the real-process fault scenarios
+(``repro.dist.DIST_SCENARIOS``): a clean distributed run, SIGKILL of a
+shard mid-traffic (respawn resumes from its injection ledger above the
+store-derived clock floor), SIGKILL of the store (respawn replays the
+frame WAL on the same port), a connection partition (sever + refuse,
+then heal), and a half-open stall. Every run spawns real OS processes
+talking over real localhost TCP; every fault kills a real process or
+breaks a real socket, and the payload records the evidence (pid
+histories across incarnations, RST / refused-connect counters).
+
+Each run is checked with the PR-3 invariant battery across process
+boundaries: exactly-once egress, per-flow ordering, bounded-loss state
+and egress against an in-process reference replay of the run's own
+injection ledger, no stranded ownership, no flush give-ups, drained
+root logs.
+
+Usage::
+
+    PYTHONPATH=src python tools/dist_campaign.py --seeds 10 --jobs 4
+    PYTHONPATH=src python tools/dist_campaign.py --quick --jobs 2   # CI smoke
+    PYTHONPATH=src python tools/dist_campaign.py --seeds 3 \
+        --scenarios shard-kill store-kill
+
+``--jobs N|auto`` fans the (scenario, seed) runs across worker
+processes (``repro.parallel``, DESIGN.md §11). Note each run spawns its
+own store + shard children, so the process count is jobs x (shards+2).
+
+Exit status is non-zero if any invariant was violated, any fault failed
+to produce its real-world evidence, any run raised, or any worker was
+lost — the correctness gate the CI ``dist-smoke`` job enforces.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+import _bootstrap
+
+_bootstrap.ensure_repro_importable()
+
+REPO_ROOT = _bootstrap.REPO_ROOT
+
+
+def render(payload: dict) -> str:
+    lines = [
+        "distributed fabric campaign (real processes, real sockets)",
+        f"{'scenario':<12} {'runs':>5} {'ok':>4} {'viol':>5} {'infra':>6}"
+        f" {'rexmit':>7} {'resets':>7} {'respawn':>8} {'wall_s':>7}",
+    ]
+    for name, row in payload["scenarios"].items():
+        lines.append(
+            f"{name:<12} {row['runs']:>5} {row['ok_runs']:>4}"
+            f" {row['violations']:>5} {row['infra_errors']:>6}"
+            f" {row['retransmissions']:>7} {row['socket_resets']:>7}"
+            f" {row['respawned_children']:>8} {row['duration_s_total']:>7}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    from repro.dist.campaign import DIST_SCENARIOS, run_dist_campaign
+
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--seeds", type=int, default=10, help="seeds per scenario")
+    parser.add_argument(
+        "--scenarios",
+        nargs="+",
+        choices=sorted(DIST_SCENARIOS),
+        default=None,
+        help="subset of scenarios (default: all)",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=2, help="shard processes per run"
+    )
+    parser.add_argument(
+        "--packets", type=int, default=48, help="workload packets per shard"
+    )
+    parser.add_argument(
+        "--flows", type=int, default=4, help="flows per shard workload"
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="CI smoke: 2 seeds, 24 packets x 3 flows, all scenarios",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=os.path.join(REPO_ROOT, "BENCH_dist.json"),
+        help="output path (default: BENCH_dist.json at the repo root)",
+    )
+    parser.add_argument(
+        "-q", "--quiet", action="store_true", help="suppress per-run progress"
+    )
+    parser.add_argument(
+        "--jobs",
+        default="1",
+        help="worker processes for the seed x scenario fan-out"
+        " ('auto' = cpu count; default 1 = serial)",
+    )
+    parser.add_argument(
+        "--run-timeout",
+        type=float,
+        default=180.0,
+        metavar="S",
+        help="per-run wall budget in seconds; a hung run is recorded as an"
+        " infra failure instead of wedging the campaign (default 180)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        help="requeue budget for runs lost to a worker crash (default 1)",
+    )
+    args = parser.parse_args(argv)
+    seeds = args.seeds
+    n_packets = args.packets
+    n_flows = args.flows
+    if args.quick:
+        seeds = min(seeds, 2)
+        n_packets = 24
+        n_flows = 3
+    if seeds < 1:
+        parser.error("--seeds must be >= 1")
+
+    def progress(outcome):
+        if args.quiet:
+            return
+        if outcome.ok:
+            mark = "ok"
+        elif outcome.infra_error:
+            mark = f"INFRA: {outcome.infra_error}"
+        else:
+            mark = f"{len(outcome.violations)} VIOLATIONS"
+        print(
+            f"  {outcome.scenario:<12} seed={outcome.seed:<3}"
+            f" {outcome.duration_s:5.1f}s {mark}",
+            flush=True,
+        )
+
+    t0 = time.perf_counter()
+    report = run_dist_campaign(
+        range(seeds),
+        scenario_names=args.scenarios,
+        jobs=args.jobs,
+        timeout_s=args.run_timeout,
+        retries=args.retries,
+        progress=progress,
+        n_shards=args.shards,
+        n_packets=n_packets,
+        n_flows=n_flows,
+    )
+    wall_s = time.perf_counter() - t0
+
+    payload = report.as_dict()
+    payload["meta"] = {
+        "benchmark": "dist_campaign",
+        "seeds": seeds,
+        "scenarios": args.scenarios or sorted(DIST_SCENARIOS),
+        "shards": args.shards,
+        "packets": n_packets,
+        "flows": n_flows,
+        "quick": args.quick,
+        "wall_s": round(wall_s, 1),
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+    }
+    if report.pool_stats is not None:
+        payload["meta"]["jobs"] = report.pool_stats["jobs"]
+        payload["meta"]["wall_s_serial_est"] = report.pool_stats[
+            "wall_s_serial_est"
+        ]
+    with open(args.output, "w") as fh:
+        json.dump(payload, fh, indent=2)
+        fh.write("\n")
+
+    print(render(payload))
+    attempted = len(report.outcomes) + len(report.failures)
+    print(f"\nwrote {args.output} ({attempted} runs, {wall_s:.1f}s)")
+    if not report.ok:
+        if report.total_violations:
+            print(
+                f"INVARIANT VIOLATIONS: {report.total_violations}", file=sys.stderr
+            )
+            for violation in payload["violations"]:
+                print(f"  {violation}", file=sys.stderr)
+        if report.fabric_infra_errors:
+            print(
+                f"FABRIC INFRA ERRORS: {len(report.fabric_infra_errors)}",
+                file=sys.stderr,
+            )
+            for outcome in report.fabric_infra_errors:
+                print(
+                    f"  {outcome.scenario}/seed={outcome.seed}:"
+                    f" {outcome.infra_error}",
+                    file=sys.stderr,
+                )
+        if report.failures:
+            print(f"FAILED RUNS: {len(report.failures)}", file=sys.stderr)
+            for failure in payload["failures"]:
+                print(f"  {failure}", file=sys.stderr)
+        if report.infra_failures:
+            print(
+                f"INFRA FAILURES: {len(report.infra_failures)}", file=sys.stderr
+            )
+            for failure in payload["infra_failures"]:
+                print(f"  {failure}", file=sys.stderr)
+        return 1
+    print("all invariants held; every fault left real-world evidence")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
